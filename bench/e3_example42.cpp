@@ -1,0 +1,64 @@
+// E3 — Example 4.2: 6 states, width 2, n leaders.
+//
+// Exhaustive verification for small n (the verifier materializes the full
+// reachability graph) and simulation to silence for larger n, checking the
+// consensus answers the counting predicate on both sides of the boundary.
+
+#include <cstdio>
+
+#include "core/constructions.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "verify/stable.h"
+
+int main() {
+  using ppsc::core::Count;
+
+  std::printf("E3: Example 4.2 (6 states, width 2, n leaders)\n\n");
+
+  std::printf("Exhaustive verification (all inputs x <= n+2):\n");
+  ppsc::util::TablePrinter exact({"n", "leaders", "inputs", "max reachable",
+                                  "stably computes"});
+  for (Count n = 1; n <= 4; ++n) {
+    auto c = ppsc::core::example_4_2(n);
+    auto result = ppsc::verify::check_up_to(c.protocol, c.predicate, n + 2);
+    std::size_t max_reachable = 0;
+    for (const auto& verdict : result.verdicts) {
+      max_reachable = std::max(max_reachable, verdict.reachable_configs);
+    }
+    exact.add_row({std::to_string(n), std::to_string(c.protocol.num_leaders()),
+                   std::to_string(result.verdicts.size()),
+                   std::to_string(max_reachable),
+                   result.verified() ? "yes" : "NO"});
+  }
+  exact.print();
+
+  std::printf("\nSimulation at the predicate boundary (runs = 5, step cap 2e6):\n");
+  ppsc::util::TablePrinter sim({"n", "x", "expected", "converged", "correct",
+                                "mean steps"});
+  for (Count n : {8, 16, 32}) {
+    auto c = ppsc::core::example_4_2(n);
+    for (Count x : {n - 1, n, n + 1}) {
+      ppsc::sim::RunOptions options;
+      options.max_steps = 2'000'000;
+      auto stats = ppsc::sim::measure_convergence(c, {x}, 5, options);
+      sim.add_row({std::to_string(n), std::to_string(x),
+                   c.predicate({x}) ? "1" : "0",
+                   std::to_string(stats.converged) + "/5",
+                   std::to_string(stats.correct) + "/5",
+                   ppsc::util::format_double(stats.mean_steps, 4)});
+    }
+  }
+  sim.print();
+
+  std::printf(
+      "\nNote the asymmetry: accepting runs (x >= n) silence quickly, while\n"
+      "rejecting runs (x = n-1) rarely silence within the budget. This is a\n"
+      "genuine property of Example 4.2: with a single surplus leader the\n"
+      "bar/unbar race is biased against the 0-consensus, so the uniform\n"
+      "random scheduler needs enormously many interactions even though the\n"
+      "protocol stably computes the predicate under fairness (the exhaustive\n"
+      "table above proves the 0-consensus stays reachable from everywhere).\n"
+      "Stable computation bounds say nothing about convergence *time*.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E4 — Lemma 5.3 (Rackoff): shortest covering sequences vs the bound
+// (‖ρ‖∞ + ‖T‖∞)^(|P|^|P|).
+//
+// On randomized nets of dimension 2..4 we compute exact shortest covering
+// words by forward BFS and compare the worst observed length against the
+// bound (in log2 space; the bound is astronomically loose, as expected of a
+// Rackoff-style argument — the point is that it is never violated).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bounds/formulas.h"
+#include "petri/coverability.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using ppsc::petri::Config;
+  using ppsc::petri::Count;
+  using ppsc::petri::PetriNet;
+
+  std::printf("E4: shortest covering words vs Rackoff's bound (Lemma 5.3)\n\n");
+  ppsc::util::TablePrinter table({"d", "nets", "coverable", "max |sigma|",
+                                  "log2 max", "log2 bound", "holds"});
+
+  ppsc::util::Xoshiro256 rng(2022);
+  for (std::size_t d = 2; d <= 4; ++d) {
+    std::size_t coverable_count = 0;
+    std::size_t longest = 0;
+    Count worst_norm_rho = 1;
+    Count worst_norm_t = 1;
+    const int kNets = 60;
+    for (int i = 0; i < kNets; ++i) {
+      PetriNet net(d);
+      const int transitions = 2 + static_cast<int>(rng.below(3));
+      for (int t = 0; t < transitions; ++t) {
+        Config pre(d), post(d);
+        for (std::size_t s = 0; s < d; ++s) {
+          pre[s] = static_cast<Count>(rng.below(3));
+          post[s] = static_cast<Count>(rng.below(3));
+        }
+        if (pre == post) post[rng.below(d)] += 1;
+        net.add(pre, post);
+      }
+      Config source(d), target(d);
+      for (std::size_t s = 0; s < d; ++s) {
+        source[s] = static_cast<Count>(rng.below(4));
+        target[s] = static_cast<Count>(rng.below(3));
+      }
+      auto result =
+          ppsc::petri::shortest_covering_word(net, source, target, 100000);
+      if (result.word.has_value()) {
+        ++coverable_count;
+        if (result.word->size() > longest) {
+          longest = result.word->size();
+          worst_norm_rho = target.norm_inf();
+          worst_norm_t = net.norm_inf();
+        }
+      }
+    }
+    double log2_bound = ppsc::bounds::log2_rackoff_bound(
+        static_cast<std::uint64_t>(worst_norm_rho),
+        static_cast<std::uint64_t>(worst_norm_t), d);
+    double log2_max =
+        longest > 0 ? std::log2(static_cast<double>(longest)) : 0.0;
+    table.add_row({std::to_string(d), std::to_string(kNets),
+                   std::to_string(coverable_count), std::to_string(longest),
+                   ppsc::util::format_double(log2_max, 4),
+                   ppsc::util::format_double(log2_bound, 4),
+                   log2_max <= log2_bound ? "yes" : "NO"});
+  }
+  table.print();
+
+  std::printf(
+      "\nThe bound is doubly exponential in d; observed shortest covering\n"
+      "words are tiny in comparison — Lemma 5.3 is safe by a huge margin.\n");
+  return 0;
+}

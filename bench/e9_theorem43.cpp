@@ -1,0 +1,178 @@
+// E9 — Theorem 4.3: the proof pipeline executed end-to-end.
+//
+// The lower-bound proof (Section 8) runs: Theorem 6.1 on T|P' from the
+// leader configuration → a bottom component → the control-state net of that
+// component → a total cycle (Lemma 7.2) → a multicycle with large Parikh
+// image → a small sign-compatible replacement (Lemma 7.3) → a pumping
+// argument contradicting stability unless n ≤ (4+4w+2|ρ_L|)^(d(d+2)²).
+//
+// This binary executes each stage on (a) Example 4.2 instances — the
+// protocol the paper's Section 4 analyzes — and (b) a crafted net with a
+// non-trivial bottom component, where every stage is exercised
+// non-degenerately. It finishes with the numeric bound table.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bounds/formulas.h"
+#include "core/constructions.h"
+#include "petri/bottom.h"
+#include "petri/control_net.h"
+#include "petri/euler.h"
+#include "solver/multicycle.h"
+#include "util/table.h"
+
+namespace {
+
+using ppsc::petri::Config;
+using ppsc::petri::ControlStateNet;
+using ppsc::petri::PetriNet;
+
+struct PipelineRow {
+  std::string name;
+  std::string component;
+  std::string edges;
+  std::string total_cycle;
+  std::string replacement;
+  std::string verdict;
+};
+
+PipelineRow run_pipeline(const std::string& name, const PetriNet& net,
+                         const Config& rho) {
+  PipelineRow row{name, "-", "-", "-", "-", "incomplete"};
+
+  // Stage 1: Theorem 6.1 witness.
+  ppsc::petri::ExploreLimits limits;
+  limits.max_nodes = 200000;
+  auto witness = ppsc::petri::find_bottom_witness(net, rho, limits);
+  if (!witness.has_value()) {
+    row.verdict = "no bottom witness";
+    return row;
+  }
+  if (!ppsc::petri::check_bottom_witness(net, rho, *witness, limits)) {
+    row.verdict = "witness replay FAILED";
+    return row;
+  }
+
+  // Stage 2: component control net.
+  PetriNet restricted = net.restrict(witness->q_mask);
+  auto component = ppsc::petri::component_of(
+      restricted, witness->alpha.restrict(witness->q_mask), limits);
+  row.component = std::to_string(component.members.size());
+  auto cnet =
+      ControlStateNet::from_component(net, component.members, witness->q_mask);
+  row.edges = std::to_string(cnet.num_edges());
+  if (cnet.num_edges() == 0) {
+    row.total_cycle = "empty";
+    row.replacement = "trivial";
+    row.verdict = "degenerate (silent bottom)";
+    return row;
+  }
+  if (!cnet.strongly_connected()) {
+    row.verdict = "component not strongly connected?";
+    return row;
+  }
+
+  // Stage 3: Lemma 7.2 total cycle.
+  auto total = cnet.total_cycle(0);
+  if (!total.has_value()) {
+    row.verdict = "no total cycle";
+    return row;
+  }
+  row.total_cycle = std::to_string(total->size()) + " <= " +
+                    std::to_string(cnet.num_edges() * cnet.num_controls());
+
+  // Stage 4: a large multicycle (ℓ copies of the total cycle) and its
+  // Lemma 7.3 replacement with Q = the witness's Q.
+  const std::uint64_t ell = 64;
+  auto parikh = cnet.parikh(*total);
+  for (auto& count : parikh) count *= ell;
+  std::vector<bool> q_on_places(net.num_states(), false);
+  for (std::size_t p = 0; p < net.num_states(); ++p) {
+    q_on_places[p] = witness->q_mask[p];
+  }
+  auto replacement =
+      ppsc::solver::small_multicycle(cnet, parikh, q_on_places, /*k=*/ell);
+  if (!replacement.has_value()) {
+    row.replacement = "n/a (k hypothesis)";
+    row.verdict = "pipeline ok (no replacement needed)";
+    return row;
+  }
+  row.replacement = std::to_string(replacement->length);
+  row.verdict = "pipeline ok";
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9: Theorem 4.3 proof pipeline, stage by stage\n\n");
+
+  ppsc::util::TablePrinter table({"instance", "|component|", "|E|",
+                                  "|total cycle| vs bound", "|Theta'|",
+                                  "verdict"});
+
+  // (a) Example 4.2 instances: Section 8 applies Theorem 6.1 to T|P' from
+  // the leader configuration (P' = P \ I).
+  for (ppsc::core::Count n : {2, 3}) {
+    auto c = ppsc::core::example_4_2(n);
+    std::vector<bool> mask(c.protocol.num_states(), true);
+    mask[c.protocol.states().at("i")] = false;
+    auto row = run_pipeline("example42 n=" + std::to_string(n),
+                            c.protocol.net().restrict(mask),
+                            c.protocol.leaders().restrict(mask));
+    table.add_row({row.name, row.component, row.edges, row.total_cycle,
+                   row.replacement, row.verdict});
+  }
+
+  // (b) Crafted net with a non-trivial bottom: toggle {a,b} + pump c.
+  {
+    PetriNet net(3);
+    net.add(Config{1, 0, 0}, Config{0, 1, 0});
+    net.add(Config{0, 1, 0}, Config{1, 0, 0});
+    net.add(Config{1, 0, 0}, Config{1, 0, 1});
+    auto row = run_pipeline("toggle+pump", net, Config{1, 0, 0});
+    table.add_row({row.name, row.component, row.edges, row.total_cycle,
+                   row.replacement, row.verdict});
+  }
+  // (c) Bigger toggle ring with pump.
+  {
+    PetriNet net(4);
+    net.add(Config{1, 0, 0, 0}, Config{0, 1, 0, 0});
+    net.add(Config{0, 1, 0, 0}, Config{0, 0, 1, 0});
+    net.add(Config{0, 0, 1, 0}, Config{1, 0, 0, 0});
+    net.add(Config{0, 1, 0, 0}, Config{0, 1, 0, 1});
+    auto row = run_pipeline("ring3+pump", net, Config{1, 0, 0, 0});
+    table.add_row({row.name, row.component, row.edges, row.total_cycle,
+                   row.replacement, row.verdict});
+  }
+  table.print();
+
+  // Numeric bound: what Theorem 4.3 says about Example 4.2's parameters.
+  std::printf("\nTheorem 4.3 bound n <= (4+4w+2L)^(d(d+2)^2):\n\n");
+  ppsc::util::TablePrinter bound_table(
+      {"protocol", "d", "width", "leaders", "log2 bound", "log2 n", "holds"});
+  for (ppsc::core::Count n : {4, 16, 256, 65536}) {
+    auto c = ppsc::core::example_4_2(n);
+    double log2_bound = ppsc::bounds::log2_theorem43_bound(
+        static_cast<std::uint64_t>(c.protocol.width()),
+        static_cast<std::uint64_t>(c.protocol.num_leaders()),
+        c.protocol.num_states());
+    double log2_n = std::log2(static_cast<double>(n));
+    bound_table.add_row(
+        {"example42 n=" + std::to_string(n),
+         std::to_string(c.protocol.num_states()),
+         std::to_string(c.protocol.width()),
+         std::to_string(c.protocol.num_leaders()),
+         ppsc::util::format_double(log2_bound, 5),
+         ppsc::util::format_double(log2_n, 4),
+         log2_n <= log2_bound ? "yes" : "NO"});
+  }
+  bound_table.print();
+
+  std::printf(
+      "\nExample 4.2 respects the bound because its leader count grows with\n"
+      "n: with bounded leaders AND bounded width, the theorem forces the\n"
+      "state count up at rate (log log n)^h (see E10).\n");
+  return 0;
+}
