@@ -1,0 +1,24 @@
+// The inverse-Ackermann state lower bound of Czerner-Esparza-Leroux
+// (arXiv:2102.11619), which the paper's Corollary 4.4 supersedes.
+//
+// We use the diagonal Ackermann-Peter function A(k) = Ack(k, k):
+// A(1) = 3, A(2) = 7, A(3) = 61, A(4) = 2^^7 - 3 (a power tower of
+// seven 2's). The CE21 bound for deciding (i >= n) is A^{-1}(n), the
+// largest k with A(k) <= n (clamped to >= 1) -- which is frozen at 3
+// for every n between 61 and A(4), i.e. for every threshold any bench
+// will ever print.
+
+#ifndef PPSC_BOUNDS_ACKERMANN_H
+#define PPSC_BOUNDS_ACKERMANN_H
+
+namespace ppsc {
+namespace bounds {
+
+// A^{-1}(n) given log2(n). log2(A(4)) ~ 2^65536 overflows a double, so
+// every representable log2_n above log2(61) maps to 3.
+int inverse_ackermann_log2(double log2_n);
+
+}  // namespace bounds
+}  // namespace ppsc
+
+#endif  // PPSC_BOUNDS_ACKERMANN_H

@@ -1,0 +1,48 @@
+// Minimal arbitrary-precision unsigned integer, just enough to evaluate
+// the paper's Theorem 4.3 bound exactly (numbers like 2^65536) and
+// cross-check the log-space formulas against real digits.
+
+#ifndef PPSC_BOUNDS_BIGUINT_H
+#define PPSC_BOUNDS_BIGUINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppsc {
+namespace bounds {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t value);
+
+  static BigUint two_pow(std::uint64_t exponent);
+  static BigUint pow(std::uint64_t base, std::uint64_t exponent);
+
+  BigUint& operator*=(const BigUint& other);
+  BigUint operator*(const BigUint& other) const;
+  bool operator==(const BigUint& other) const { return limbs_ == other.limbs_; }
+
+  bool is_zero() const { return limbs_.empty(); }
+  std::size_t bit_length() const;
+
+  // Number of decimal digits (1 for zero).
+  std::size_t digits10() const;
+
+  // log2 of the value as a double; -inf for zero.
+  double log2() const;
+
+  std::string to_string() const;
+
+ private:
+  void trim();
+
+  // Base 2^32, little-endian; empty means zero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace bounds
+}  // namespace ppsc
+
+#endif  // PPSC_BOUNDS_BIGUINT_H

@@ -1,0 +1,55 @@
+// The paper's bound formulas, in the exact numeric conventions the bench
+// tables and unit tests pin down.
+//
+// All thresholds n are passed as log2(n) so the formulas stay evaluable
+// across the 80 orders of magnitude E10 sweeps (up to n = 2^(10^15)),
+// far beyond what any integer or double value of n could represent.
+//
+// Conventions (fixed here, regression-tested in tests/test_bounds.cpp):
+//
+//  * Theorem 4.3 (exact form): a protocol with d states, width w and L
+//    leaders can only decide (i >= n) for n <= B(w, L, d) = 2^(m^(d^2))
+//    with m = max(2, w, L). theorem43_bound evaluates B exactly as a
+//    BigUint; log2_theorem43_bound evaluates log2(B) = m^(d^2) in
+//    doubles; theorem43_min_states inverts it (smallest d whose bound
+//    reaches n).
+//
+//  * Corollary 4.4 (closed form): deciding (i >= n) with width and
+//    leaders at most m needs at least (log2 log2 n)^h / m states, for
+//    any fixed h < 1/2 (the 1/m factor absorbs the corollary's
+//    constant). This is the (log log n)^h shape quoted by E1/E10.
+//
+//  * Upper-bound shapes from Blondin-Esparza-Jaax: bej_loglog_states is
+//    the O(log log n) leaderful shape, bej_log_states the O(log n)
+//    leaderless binary shape, both with unit constant.
+
+#ifndef PPSC_BOUNDS_FORMULAS_H
+#define PPSC_BOUNDS_FORMULAS_H
+
+#include "bounds/biguint.h"
+
+namespace ppsc {
+namespace bounds {
+
+// (log2(log2 n))^h / m; 0 when log2_n <= 1.
+double corollary44_lower_bound(double log2_n, double m, double h);
+
+// Smallest d >= 1 with m^(d^2) >= log2 n, i.e. the exact inversion of
+// Theorem 4.3 for width = leaders = m (m >= 2).
+long long theorem43_min_states(double log2_n, double m);
+
+// Exact Theorem 4.3 bound 2^(m^(d^2)), m = max(2, w, L). Throws
+// std::overflow_error when the result would exceed ~2^(2^27) bits.
+BigUint theorem43_bound(long long w, long long L, long long d);
+
+// log2 of the same bound, i.e. m^(d^2), evaluated in doubles.
+double log2_theorem43_bound(double w, double L, double d);
+
+// Upper-bound shapes of [BEJ18]: log2(log2 n) (clamped at 0) and log2 n.
+double bej_loglog_states(double log2_n);
+double bej_log_states(double log2_n);
+
+}  // namespace bounds
+}  // namespace ppsc
+
+#endif  // PPSC_BOUNDS_FORMULAS_H

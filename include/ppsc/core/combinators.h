@@ -1,0 +1,35 @@
+// Boolean combinators over constructed protocols (Remark 1's Presburger
+// closure direction): negation by output flip and conjunction /
+// disjunction by the classical product construction. Products multiply
+// state counts and cost |T1||P2|^2 + |T2||P1|^2 transitions, which is
+// why succinctness results matter.
+//
+// The product combinators require leaderless width-2 operands with equal
+// input arity; negation works on any protocol.
+
+#ifndef PPSC_CORE_COMBINATORS_H
+#define PPSC_CORE_COMBINATORS_H
+
+#include "core/constructions.h"
+#include "core/protocol.h"
+
+namespace ppsc {
+namespace core {
+
+// Flips every state's output and negates the predicate.
+ConstructedProtocol negate(const ConstructedProtocol& cp);
+
+// Runs both protocols side by side in each agent; an interaction applies
+// one operand's rule to that component and carries the other along.
+ConstructedProtocol conjunction(const ConstructedProtocol& lhs,
+                                const ConstructedProtocol& rhs);
+ConstructedProtocol disjunction(const ConstructedProtocol& lhs,
+                                const ConstructedProtocol& rhs);
+
+// (lo <= x <= hi), built as unary_counting(lo) AND NOT unary_counting(hi+1).
+ConstructedProtocol interval_counting(Count lo, Count hi);
+
+}  // namespace core
+}  // namespace ppsc
+
+#endif  // PPSC_CORE_COMBINATORS_H

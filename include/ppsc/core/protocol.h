@@ -1,0 +1,163 @@
+// Core data model: population protocols as conservative Petri nets.
+//
+// A protocol is a Petri net whose places are the agent states, together
+// with an output bit per state, a mapping from input dimensions to input
+// states, and a fixed multiset of leader agents. Transitions are
+// conservative (they preserve the number of agents), which is what makes
+// every configuration space finite for a fixed input and lets the
+// verifier in verify/stable.h enumerate it exhaustively.
+//
+// The width of a transition is the number of agents it consumes; the
+// width of a protocol is the maximum over its transitions. The paper's
+// Section 4 trades exactly these three resources against each other:
+// states, width, and leaders.
+
+#ifndef PPSC_CORE_PROTOCOL_H
+#define PPSC_CORE_PROTOCOL_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppsc {
+namespace core {
+
+using Count = long long;
+
+// A configuration is a multiset of agent states, indexed by state id.
+using Config = std::vector<Count>;
+
+// One Petri-net transition. `pre` and `post` are dense count vectors over
+// the protocol's states; the transition is enabled in a configuration c
+// iff c[q] >= pre[q] for every state q, and firing it replaces the
+// consumed agents with the produced ones.
+struct Transition {
+  std::string name;
+  std::vector<Count> pre;
+  std::vector<Count> post;
+
+  Count width() const {
+    Count total = 0;
+    for (Count k : pre) total += k;
+    return total;
+  }
+};
+
+// The transition structure of a protocol, viewed as a Petri net over the
+// agent states. Validation enforces conservation (population protocols
+// never create or destroy agents) and rejects identity transitions so
+// that "no enabled transition" coincides with "silent".
+class PetriNet {
+ public:
+  explicit PetriNet(std::size_t num_places = 0) : num_places_(num_places) {}
+
+  std::size_t num_places() const { return num_places_; }
+  std::size_t num_transitions() const { return transitions_.size(); }
+  const Transition& transition(std::size_t i) const { return transitions_[i]; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  // Throws std::invalid_argument on size mismatch, negative counts,
+  // non-conservative or identity transitions.
+  void add_transition(Transition t);
+
+  bool enabled(const Transition& t, const Config& config) const;
+  Config fire(const Transition& t, const Config& config) const;
+
+ private:
+  std::size_t num_places_;
+  std::vector<Transition> transitions_;
+};
+
+class ProtocolBuilder;
+
+// An immutable population protocol. Build one with ProtocolBuilder.
+class Protocol {
+ public:
+  std::size_t num_states() const { return state_names_.size(); }
+  const std::string& state_name(std::size_t q) const { return state_names_[q]; }
+  bool output(std::size_t q) const { return outputs_[q] != 0; }
+
+  std::size_t input_arity() const { return input_states_.size(); }
+  std::size_t input_state(std::size_t dim) const { return input_states_[dim]; }
+
+  Count leaders(std::size_t q) const { return leaders_[q]; }
+  Count num_leaders() const;
+
+  // Maximum number of agents consumed by a single transition.
+  Count width() const;
+
+  const PetriNet& net() const { return net_; }
+
+  // Leaders plus `input[dim]` agents in each input state.
+  Config initial_config(const std::vector<Count>& input) const;
+
+  // Total number of agents in `config`.
+  static Count population(const Config& config);
+
+ private:
+  friend class ProtocolBuilder;
+  Protocol() = default;
+
+  std::vector<std::string> state_names_;
+  std::vector<int> outputs_;
+  std::vector<std::size_t> input_states_;
+  std::vector<Count> leaders_;
+  PetriNet net_;
+};
+
+// Incremental builder so constructions read declaratively.
+class ProtocolBuilder {
+ public:
+  // Returns the id of the new state.
+  std::size_t add_state(const std::string& name, bool output);
+
+  // Appends an input dimension mapped to `state`; dimension ids are
+  // assigned in call order.
+  void add_input(std::size_t state);
+
+  void add_leaders(std::size_t state, Count count);
+
+  // General multiset transition; entries are (state, count) pairs.
+  void add_rule(const std::string& name,
+                const std::vector<std::pair<std::size_t, Count>>& pre,
+                const std::vector<std::pair<std::size_t, Count>>& post);
+
+  // Width-2 convenience: a + b -> c + d. Silently skipped when it would
+  // be an identity (the pair {a,b} equals the pair {c,d}).
+  void add_pair_rule(const std::string& name, std::size_t a, std::size_t b,
+                     std::size_t c, std::size_t d);
+
+  Protocol build();
+
+ private:
+  void check_state(std::size_t state, const std::string& rule) const;
+
+  Protocol protocol_;
+  std::vector<Transition> pending_;
+  bool built_ = false;
+};
+
+// A predicate over input vectors, carried alongside the protocol that is
+// supposed to stably compute it.
+struct Predicate {
+  std::string name;
+  std::size_t arity = 1;
+  std::function<bool(const std::vector<Count>&)> fn;
+
+  bool operator()(const std::vector<Count>& input) const { return fn(input); }
+};
+
+// A protocol together with the predicate it claims to compute and a
+// human-readable family label, as used by the bench drivers.
+struct ConstructedProtocol {
+  std::string family;
+  Protocol protocol;
+  Predicate predicate;
+};
+
+}  // namespace core
+}  // namespace ppsc
+
+#endif  // PPSC_CORE_PROTOCOL_H

@@ -1,0 +1,67 @@
+// Random-scheduler simulation. Each step draws one enabled transition
+// instance uniformly at random: a transition's weight is the number of
+// distinct agent sets that can fire it (the product of binomials of its
+// pre-multiset), which for width-2 rules reproduces the classical
+// uniform random-pair scheduler restricted to productive interactions.
+// Steps therefore count productive interactions; a run is silent when
+// no transition is enabled.
+
+#ifndef PPSC_SIM_SIMULATOR_H
+#define PPSC_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace ppsc {
+namespace sim {
+
+struct RunOptions {
+  // Give up (non-converged) after this many productive interactions.
+  std::uint64_t max_steps = 20000000;
+  // Base seed; run r of a measurement uses seed + r.
+  std::uint64_t seed = 0x5eed;
+};
+
+struct OutputSummary {
+  bool has_one = false;
+  bool has_zero = false;
+
+  // All agents output 1 (and there is at least one agent).
+  bool exactly_one() const { return has_one && !has_zero; }
+  // No agent outputs 1.
+  bool subset_of_zero() const { return !has_one; }
+};
+
+struct SilenceRun {
+  bool silent = false;
+  std::uint64_t steps = 0;
+  core::Config final_config;
+  OutputSummary final_output;
+};
+
+SilenceRun run_to_silence(const core::Protocol& protocol,
+                          const std::vector<core::Count>& input,
+                          const RunOptions& options = {});
+
+struct ConvergenceStats {
+  std::size_t runs = 0;
+  // Runs that reached silence within the step budget.
+  std::size_t converged = 0;
+  // Converged runs whose consensus matches the predicate.
+  std::size_t correct = 0;
+  // Over all runs; non-converged runs contribute max_steps.
+  double mean_steps = 0.0;
+  double max_steps = 0.0;
+};
+
+ConvergenceStats measure_convergence(const core::ConstructedProtocol& cp,
+                                     const std::vector<core::Count>& input,
+                                     std::size_t runs,
+                                     const RunOptions& options = {});
+
+}  // namespace sim
+}  // namespace ppsc
+
+#endif  // PPSC_SIM_SIMULATOR_H

@@ -1,0 +1,33 @@
+// Deterministic xoshiro256** generator so benches and simulations are
+// reproducible across platforms (std::mt19937 distributions are not
+// specified bit-exactly; this is).
+
+#ifndef PPSC_UTIL_RNG_H
+#define PPSC_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace ppsc {
+namespace util {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound); bound 0 returns 0. Uses Lemire rejection so
+  // the result is unbiased.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double unit();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace util
+}  // namespace ppsc
+
+#endif  // PPSC_UTIL_RNG_H

@@ -1,0 +1,36 @@
+// Plain-text table output shared by all bench drivers, plus the numeric
+// formatting helper the tables use. Output is deterministic so bench
+// stdout can serve as a golden regression artifact.
+
+#ifndef PPSC_UTIL_TABLE_H
+#define PPSC_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ppsc {
+namespace util {
+
+// Formats with `significant` significant digits (printf %g semantics).
+std::string format_double(double value, int significant);
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Rows shorter than the header are padded with empty cells; longer
+  // rows throw std::invalid_argument.
+  void add_row(std::vector<std::string> cells);
+
+  void print() const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace ppsc
+
+#endif  // PPSC_UTIL_TABLE_H

@@ -1,0 +1,67 @@
+// Exhaustive stable-computation checker (the Section 2 semantics).
+//
+// A protocol stably computes a predicate phi on input x iff every fair
+// execution from the initial configuration reaches, and never leaves,
+// configurations in which all agents output phi(x). Under the standard
+// population-protocol fairness this is equivalent to: every bottom SCC
+// of the (finite, by conservation) reachability graph consists solely
+// of configurations with unanimous output phi(x).
+//
+// check_up_to materializes the full reachability graph for every input
+// vector in [0, bound]^arity and checks exactly that condition, so a
+// "verified" verdict is a machine-checked proof for those inputs.
+
+#ifndef PPSC_VERIFY_STABLE_H
+#define PPSC_VERIFY_STABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace ppsc {
+namespace verify {
+
+struct Verdict {
+  std::vector<core::Count> input;
+  bool ok = false;
+  // Size of the reachability graph explored for this input (1 for the
+  // empty population, which is vacuously correct).
+  std::size_t reachable_configs = 0;
+  // Human-readable description of the first failure, empty when ok.
+  std::string detail;
+};
+
+struct CheckResult {
+  std::vector<Verdict> verdicts;
+
+  bool verified() const {
+    for (const Verdict& v : verdicts) {
+      if (!v.ok) return false;
+    }
+    return true;
+  }
+};
+
+struct CheckOptions {
+  // Abort (throwing std::runtime_error) if a single input's reachability
+  // graph exceeds this many configurations.
+  std::size_t max_configs = 5000000;
+};
+
+// Checks every input vector in [0, bound]^arity.
+CheckResult check_up_to(const core::Protocol& protocol,
+                        const core::Predicate& predicate, core::Count bound,
+                        const CheckOptions& options = {});
+
+// Checks a single input vector.
+Verdict check_input(const core::Protocol& protocol,
+                    const core::Predicate& predicate,
+                    const std::vector<core::Count>& input,
+                    const CheckOptions& options = {});
+
+}  // namespace verify
+}  // namespace ppsc
+
+#endif  // PPSC_VERIFY_STABLE_H

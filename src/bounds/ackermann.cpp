@@ -1,0 +1,18 @@
+#include "bounds/ackermann.h"
+
+#include <cmath>
+
+namespace ppsc {
+namespace bounds {
+
+int inverse_ackermann_log2(double log2_n) {
+  // Largest k with A(k) <= n, clamped to at least 1 (the trivial bound).
+  if (log2_n < std::log2(7.0)) return 1;
+  if (log2_n < std::log2(61.0)) return 2;
+  // The next level starts at A(4), whose log2 is about 2^65536 -- beyond
+  // any finite double, hence the bound is 3 for every representable n.
+  return 3;
+}
+
+}  // namespace bounds
+}  // namespace ppsc

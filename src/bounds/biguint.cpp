@@ -1,0 +1,134 @@
+#include "bounds/biguint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ppsc {
+namespace bounds {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+BigUint::BigUint(std::uint64_t value) {
+  while (value > 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffffull));
+    value >>= 32;
+  }
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::two_pow(std::uint64_t exponent) {
+  if (exponent > (1ull << 27)) {
+    // ~16 MiB of limbs; anything larger is a formula bug, not a number
+    // we should try to materialize.
+    throw std::overflow_error("BigUint::two_pow: exponent too large");
+  }
+  BigUint result;
+  result.limbs_.assign(static_cast<std::size_t>(exponent / 32) + 1, 0);
+  result.limbs_.back() = 1u << (exponent % 32);
+  return result;
+}
+
+BigUint BigUint::pow(std::uint64_t base, std::uint64_t exponent) {
+  BigUint result(1);
+  BigUint factor(base);
+  while (exponent > 0) {
+    if (exponent & 1) result *= factor;
+    factor *= factor;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+BigUint& BigUint::operator*=(const BigUint& other) {
+  *this = *this * other;
+  return *this;
+}
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (is_zero() || other.is_zero()) return BigUint();
+  BigUint result;
+  result.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) *
+                              other.limbs_[j] +
+                          result.limbs_[i + j] + carry;
+      result.limbs_[i + j] = static_cast<std::uint32_t>(cur % kBase);
+      carry = cur / kBase;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry > 0) {
+      std::uint64_t cur = result.limbs_[k] + carry;
+      result.limbs_[k] = static_cast<std::uint32_t>(cur % kBase);
+      carry = cur / kBase;
+      ++k;
+    }
+  }
+  result.trim();
+  return result;
+}
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top > 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::size_t BigUint::digits10() const {
+  return to_string().size();
+}
+
+double BigUint::log2() const {
+  if (limbs_.empty()) return -std::numeric_limits<double>::infinity();
+  // The top two limbs carry more precision than a double can hold.
+  const std::size_t n = limbs_.size();
+  const std::size_t use = n < 2 ? n : 2;
+  double mantissa = 0.0;
+  for (std::size_t i = 0; i < use; ++i) {
+    mantissa = mantissa * 4294967296.0 + static_cast<double>(limbs_[n - 1 - i]);
+  }
+  return std::log2(mantissa) + 32.0 * static_cast<double>(n - use);
+}
+
+std::string BigUint::to_string() const {
+  if (limbs_.empty()) return "0";
+  // Repeatedly divide by 10^9, collecting low-order decimal chunks.
+  std::vector<std::uint32_t> work(limbs_.rbegin(), limbs_.rend());
+  std::string digits;
+  while (!work.empty()) {
+    std::uint64_t remainder = 0;
+    std::vector<std::uint32_t> quotient;
+    quotient.reserve(work.size());
+    for (std::uint32_t limb : work) {
+      std::uint64_t cur = (remainder << 32) | limb;
+      quotient.push_back(static_cast<std::uint32_t>(cur / 1000000000ull));
+      remainder = cur % 1000000000ull;
+    }
+    while (!quotient.empty() && quotient.front() == 0) {
+      quotient.erase(quotient.begin());
+    }
+    std::string chunk = std::to_string(remainder);
+    if (!quotient.empty()) {
+      chunk = std::string(9 - chunk.size(), '0') + chunk;
+    }
+    digits = chunk + digits;
+    work = std::move(quotient);
+  }
+  return digits;
+}
+
+}  // namespace bounds
+}  // namespace ppsc

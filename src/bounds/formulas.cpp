@@ -1,0 +1,57 @@
+#include "bounds/formulas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppsc {
+namespace bounds {
+
+double corollary44_lower_bound(double log2_n, double m, double h) {
+  if (log2_n <= 1.0 || m <= 0.0) return 0.0;
+  return std::pow(std::log2(log2_n), h) / m;
+}
+
+long long theorem43_min_states(double log2_n, double m) {
+  if (m < 2.0) {
+    throw std::invalid_argument("theorem43_min_states: need m >= 2");
+  }
+  if (log2_n <= 1.0) return 1;
+  // Invert m^(d^2) >= log2 n in log space: d >= sqrt(log2 log2 n / log2 m).
+  const double d = std::sqrt(std::log2(log2_n) / std::log2(m));
+  const double rounded = std::ceil(d - 1e-9);
+  return std::max(1ll, static_cast<long long>(rounded));
+}
+
+BigUint theorem43_bound(long long w, long long L, long long d) {
+  if (w < 1 || L < 0 || d < 1) {
+    throw std::invalid_argument("theorem43_bound: need w >= 1, L >= 0, d >= 1");
+  }
+  const std::uint64_t m =
+      static_cast<std::uint64_t>(std::max({2ll, w, L}));
+  const std::uint64_t dd = static_cast<std::uint64_t>(d);
+  // m^(d^2) as the exponent of 2; overflow is caught by two_pow's cap.
+  std::uint64_t exponent = 1;
+  for (std::uint64_t i = 0; i < dd * dd; ++i) {
+    if (exponent > (1ull << 27) / m + 1) {
+      throw std::overflow_error("theorem43_bound: bound too large");
+    }
+    exponent *= m;
+  }
+  return BigUint::two_pow(exponent);
+}
+
+double log2_theorem43_bound(double w, double L, double d) {
+  const double m = std::max({2.0, w, L});
+  return std::pow(m, d * d);
+}
+
+double bej_loglog_states(double log2_n) {
+  if (log2_n <= 1.0) return 0.0;
+  return std::log2(log2_n);
+}
+
+double bej_log_states(double log2_n) { return log2_n; }
+
+}  // namespace bounds
+}  // namespace ppsc

@@ -1,0 +1,226 @@
+#include "core/constructions.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace ppsc {
+namespace core {
+
+namespace {
+
+bool is_power_of_two(Count n) { return n > 0 && (n & (n - 1)) == 0; }
+
+std::string count_str(Count n) { return std::to_string(n); }
+
+}  // namespace
+
+Predicate counting_predicate(Count n) {
+  Predicate p;
+  p.name = "x >= " + count_str(n);
+  p.arity = 1;
+  p.fn = [n](const std::vector<Count>& x) { return x[0] >= n; };
+  return p;
+}
+
+ConstructedProtocol example_4_1(Count n) {
+  if (n < 1) throw std::invalid_argument("example_4_1: n must be >= 1");
+  ProtocolBuilder b;
+  const std::size_t A = b.add_state("A", false);
+  const std::size_t B = b.add_state("B", true);
+  b.add_input(A);
+  // t_n: n input agents fire simultaneously -- the single wide
+  // interaction that makes the preorder's width exactly n.
+  b.add_rule("t" + count_str(n), {{A, n}}, {{B, n}});
+  // t_k, k < n: one B recruits k A's at once. Redundant given t_1 but
+  // part of the example's transition family (n transitions total).
+  for (Count k = 1; k < n; ++k) {
+    b.add_rule("t" + count_str(k), {{B, 1}, {A, k}}, {{B, k + 1}});
+  }
+  return {"example 4.1 (width n)", b.build(), counting_predicate(n)};
+}
+
+ConstructedProtocol example_4_2(Count n) {
+  if (n < 1) throw std::invalid_argument("example_4_2: n must be >= 1");
+  ProtocolBuilder b;
+  const std::size_t X = b.add_state("X", true);    // unconsumed input
+  const std::size_t C0 = b.add_state("C0", false);  // consumed, opinion 0
+  const std::size_t C1 = b.add_state("C1", true);   // consumed, opinion 1
+  const std::size_t H = b.add_state("H", false);    // hungry leader
+  const std::size_t F = b.add_state("F", true);     // fed leader
+  const std::size_t F0 = b.add_state("F0", false);  // fed leader, vetoed
+  b.add_input(X);
+  b.add_leaders(H, n);
+  b.add_pair_rule("eat", H, X, F, C0);
+  b.add_pair_rule("veto", H, F, H, F0);
+  b.add_pair_rule("rally", F, F0, F, F);
+  b.add_pair_rule("damp", H, C1, H, C0);
+  b.add_pair_rule("lift", F, C0, F, C1);
+  return {"example 4.2 (n leaders)", b.build(), counting_predicate(n)};
+}
+
+ConstructedProtocol unary_counting(Count n) {
+  if (n < 1) throw std::invalid_argument("unary_counting: n must be >= 1");
+  ProtocolBuilder b;
+  // State (v, d): accumulated count v in [0, n], sticky witness bit d.
+  std::vector<std::vector<std::size_t>> id(static_cast<std::size_t>(n) + 1);
+  for (Count v = 0; v <= n; ++v) {
+    for (int d = 0; d <= 1; ++d) {
+      id[static_cast<std::size_t>(v)].push_back(
+          b.add_state(count_str(v) + (d ? "!" : ""), d != 0));
+    }
+  }
+  b.add_input(id[1][0]);
+  for (Count va = 0; va <= n; ++va) {
+    for (Count vb = 0; vb <= va; ++vb) {
+      const Count sum = va + vb;
+      const Count merged = sum < n ? sum : n;
+      const Count rest = sum - merged;
+      for (int da = 0; da <= 1; ++da) {
+        for (int db = (va == vb ? da : 0); db <= 1; ++db) {
+          // The witness bit is set when this meeting accumulates n and
+          // is sticky: it only ever spreads, never resets, so it is set
+          // somewhere iff some interaction proved x >= n.
+          const int d = (merged == n || da || db) ? 1 : 0;
+          b.add_pair_rule("merge", id[static_cast<std::size_t>(va)][da],
+                          id[static_cast<std::size_t>(vb)][db],
+                          id[static_cast<std::size_t>(merged)][d],
+                          id[static_cast<std::size_t>(rest)][d]);
+        }
+      }
+    }
+  }
+  return {"unary (Theta(n) states)", b.build(), counting_predicate(n)};
+}
+
+ConstructedProtocol binary_counting(Count n) {
+  if (!is_power_of_two(n) || n < 2) {
+    throw std::invalid_argument(
+        "binary_counting: n must be a power of two, n >= 2");
+  }
+  ProtocolBuilder b;
+  // Values: 0 and the powers 2^0 .. 2^(k-1) below n, plus the sticky
+  // top state. A silent configuration without TOP holds distinct powers
+  // below n, whose sum is at most n - 1 -- the power-of-two structure is
+  // what makes the protocol sound for every input.
+  std::vector<Count> values;
+  values.push_back(0);
+  for (Count v = 1; v < n; v *= 2) values.push_back(v);
+  std::vector<std::size_t> id(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    id[i] = b.add_state(count_str(values[i]), false);
+  }
+  const std::size_t TOP = b.add_state("TOP", true);
+  b.add_input(id[1]);  // value 1 == 2^0
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    for (std::size_t j = 1; j <= i; ++j) {
+      if (values[i] + values[j] >= n) {
+        b.add_pair_rule("witness", id[i], id[j], TOP, TOP);
+      } else if (i == j) {
+        // Equal powers merge upward; 2 * values[i] < n here, so the
+        // doubled value is still in the table.
+        std::size_t up = 0;
+        for (std::size_t k = 0; k < values.size(); ++k) {
+          if (values[k] == 2 * values[i]) up = k;
+        }
+        b.add_pair_rule("merge", id[i], id[j], id[up], id[0]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    b.add_pair_rule("spread", TOP, id[i], TOP, TOP);
+  }
+  return {"binary (O(log n) states)", b.build(), counting_predicate(n)};
+}
+
+ConstructedProtocol threshold_belief(Count n) {
+  if (n < 1) throw std::invalid_argument("threshold_belief: n must be >= 1");
+  ProtocolBuilder b;
+  std::vector<std::size_t> level(static_cast<std::size_t>(n));
+  for (Count l = 0; l < n; ++l) {
+    level[static_cast<std::size_t>(l)] =
+        b.add_state("L" + count_str(l), l == n - 1);
+  }
+  b.add_input(level[0]);
+  // Two agents at the same level push one of them up: reaching level l
+  // provably requires l + 1 agents, so level n-1 witnesses x >= n.
+  for (Count l = 0; l + 1 < n; ++l) {
+    b.add_pair_rule("up", level[static_cast<std::size_t>(l)],
+                    level[static_cast<std::size_t>(l)],
+                    level[static_cast<std::size_t>(l + 1)],
+                    level[static_cast<std::size_t>(l)]);
+  }
+  for (Count l = 0; l + 1 < n; ++l) {
+    b.add_pair_rule("spread", level[static_cast<std::size_t>(n - 1)],
+                    level[static_cast<std::size_t>(l)],
+                    level[static_cast<std::size_t>(n - 1)],
+                    level[static_cast<std::size_t>(n - 1)]);
+  }
+  return {"belief (n states)", b.build(), counting_predicate(n)};
+}
+
+ConstructedProtocol modulo_counting(Count m, Count r) {
+  if (m < 2 || r < 0 || r >= m) {
+    throw std::invalid_argument("modulo_counting: need m >= 2, 0 <= r < m");
+  }
+  ProtocolBuilder b;
+  std::vector<std::size_t> active(static_cast<std::size_t>(m));
+  for (Count v = 0; v < m; ++v) {
+    active[static_cast<std::size_t>(v)] =
+        b.add_state("a" + count_str(v), v == r);
+  }
+  const std::size_t P0 = b.add_state("p0", false);
+  const std::size_t P1 = b.add_state("p1", true);
+  b.add_input(active[1 % static_cast<std::size_t>(m)]);
+  for (Count va = 0; va < m; ++va) {
+    for (Count vb = 0; vb <= va; ++vb) {
+      const Count sum = (va + vb) % m;
+      b.add_pair_rule("merge", active[static_cast<std::size_t>(va)],
+                      active[static_cast<std::size_t>(vb)],
+                      active[static_cast<std::size_t>(sum)],
+                      sum == r ? P1 : P0);
+    }
+    // The surviving active broadcasts its verdict to passives.
+    b.add_pair_rule("tell", active[static_cast<std::size_t>(va)],
+                    va == r ? P0 : P1, active[static_cast<std::size_t>(va)],
+                    va == r ? P1 : P0);
+  }
+  Predicate p;
+  p.name = "x mod " + count_str(m) + " = " + count_str(r);
+  p.arity = 1;
+  p.fn = [m, r](const std::vector<Count>& x) { return x[0] % m == r; };
+  return {"modulo", b.build(), p};
+}
+
+ConstructedProtocol majority() {
+  ProtocolBuilder b;
+  const std::size_t A = b.add_state("A", true);
+  const std::size_t B = b.add_state("B", false);
+  const std::size_t a = b.add_state("a", true);
+  const std::size_t bb = b.add_state("b", false);
+  b.add_input(A);
+  b.add_input(B);
+  b.add_pair_rule("cancel", A, B, a, bb);
+  b.add_pair_rule("recruitA", A, bb, A, a);
+  b.add_pair_rule("recruitB", B, a, B, bb);
+  b.add_pair_rule("tie", a, bb, bb, bb);
+  Predicate p;
+  p.name = "a > b";
+  p.arity = 2;
+  p.fn = [](const std::vector<Count>& x) { return x[0] > x[1]; };
+  return {"majority (4 states)", b.build(), p};
+}
+
+std::vector<ConstructedProtocol> counting_families(Count n) {
+  std::vector<ConstructedProtocol> families;
+  families.push_back(unary_counting(n));
+  if (is_power_of_two(n) && n >= 2) {
+    families.push_back(binary_counting(n));
+  }
+  families.push_back(threshold_belief(n));
+  families.push_back(example_4_1(n));
+  families.push_back(example_4_2(n));
+  return families;
+}
+
+}  // namespace core
+}  // namespace ppsc

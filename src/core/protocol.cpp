@@ -1,0 +1,190 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppsc {
+namespace core {
+
+void PetriNet::add_transition(Transition t) {
+  if (t.pre.size() != num_places_ || t.post.size() != num_places_) {
+    throw std::invalid_argument("transition '" + t.name +
+                                "': pre/post size does not match place count");
+  }
+  Count consumed = 0;
+  Count produced = 0;
+  for (std::size_t q = 0; q < num_places_; ++q) {
+    if (t.pre[q] < 0 || t.post[q] < 0) {
+      throw std::invalid_argument("transition '" + t.name +
+                                  "': negative multiplicity");
+    }
+    consumed += t.pre[q];
+    produced += t.post[q];
+  }
+  if (consumed != produced) {
+    throw std::invalid_argument("transition '" + t.name +
+                                "': not conservative (consumes " +
+                                std::to_string(consumed) + ", produces " +
+                                std::to_string(produced) + ")");
+  }
+  if (consumed == 0) {
+    throw std::invalid_argument("transition '" + t.name + "': empty");
+  }
+  if (t.pre == t.post) {
+    throw std::invalid_argument("transition '" + t.name + "': identity");
+  }
+  transitions_.push_back(std::move(t));
+}
+
+bool PetriNet::enabled(const Transition& t, const Config& config) const {
+  for (std::size_t q = 0; q < num_places_; ++q) {
+    if (config[q] < t.pre[q]) return false;
+  }
+  return true;
+}
+
+Config PetriNet::fire(const Transition& t, const Config& config) const {
+  Config next = config;
+  for (std::size_t q = 0; q < num_places_; ++q) {
+    next[q] += t.post[q] - t.pre[q];
+  }
+  return next;
+}
+
+Count Protocol::num_leaders() const {
+  Count total = 0;
+  for (Count k : leaders_) total += k;
+  return total;
+}
+
+Count Protocol::width() const {
+  Count max_width = 0;
+  for (const Transition& t : net_.transitions()) {
+    max_width = std::max(max_width, t.width());
+  }
+  return max_width;
+}
+
+Config Protocol::initial_config(const std::vector<Count>& input) const {
+  if (input.size() != input_states_.size()) {
+    throw std::invalid_argument("initial_config: expected " +
+                                std::to_string(input_states_.size()) +
+                                " input dimensions, got " +
+                                std::to_string(input.size()));
+  }
+  Config config = leaders_;
+  for (std::size_t dim = 0; dim < input.size(); ++dim) {
+    if (input[dim] < 0) {
+      throw std::invalid_argument("initial_config: negative input");
+    }
+    config[input_states_[dim]] += input[dim];
+  }
+  return config;
+}
+
+Count Protocol::population(const Config& config) {
+  Count total = 0;
+  for (Count k : config) total += k;
+  return total;
+}
+
+std::size_t ProtocolBuilder::add_state(const std::string& name, bool output) {
+  if (built_) {
+    throw std::logic_error("ProtocolBuilder: add_state after build()");
+  }
+  protocol_.state_names_.push_back(name);
+  protocol_.outputs_.push_back(output ? 1 : 0);
+  protocol_.leaders_.push_back(0);
+  return protocol_.state_names_.size() - 1;
+}
+
+void ProtocolBuilder::add_input(std::size_t state) {
+  if (built_) {
+    throw std::logic_error("ProtocolBuilder: add_input after build()");
+  }
+  check_state(state, "<input>");
+  protocol_.input_states_.push_back(state);
+}
+
+void ProtocolBuilder::add_leaders(std::size_t state, Count count) {
+  if (built_) {
+    throw std::logic_error("ProtocolBuilder: add_leaders after build()");
+  }
+  check_state(state, "<leaders>");
+  if (count < 0) {
+    throw std::invalid_argument("ProtocolBuilder: negative leader count");
+  }
+  protocol_.leaders_[state] += count;
+}
+
+void ProtocolBuilder::add_rule(
+    const std::string& name,
+    const std::vector<std::pair<std::size_t, Count>>& pre,
+    const std::vector<std::pair<std::size_t, Count>>& post) {
+  if (built_) {
+    throw std::logic_error("ProtocolBuilder: add_rule after build()");
+  }
+  const std::size_t n = protocol_.state_names_.size();
+  Transition t;
+  t.name = name;
+  t.pre.assign(n, 0);
+  t.post.assign(n, 0);
+  for (const auto& entry : pre) {
+    check_state(entry.first, name);
+    t.pre[entry.first] += entry.second;
+  }
+  for (const auto& entry : post) {
+    check_state(entry.first, name);
+    t.post[entry.first] += entry.second;
+  }
+  pending_.push_back(std::move(t));
+}
+
+void ProtocolBuilder::add_pair_rule(const std::string& name, std::size_t a,
+                                    std::size_t b, std::size_t c,
+                                    std::size_t d) {
+  if (built_) {
+    throw std::logic_error("ProtocolBuilder: add_pair_rule after build()");
+  }
+  const std::size_t n = protocol_.state_names_.size();
+  for (std::size_t q : {a, b, c, d}) check_state(q, name);
+  Transition t;
+  t.name = name;
+  t.pre.assign(n, 0);
+  t.post.assign(n, 0);
+  t.pre[a] += 1;
+  t.pre[b] += 1;
+  t.post[c] += 1;
+  t.post[d] += 1;
+  if (t.pre == t.post) return;  // identity pairs carry no information
+  pending_.push_back(std::move(t));
+}
+
+void ProtocolBuilder::check_state(std::size_t state,
+                                  const std::string& rule) const {
+  if (state >= protocol_.state_names_.size()) {
+    throw std::invalid_argument("ProtocolBuilder: rule '" + rule +
+                                "' references state " + std::to_string(state) +
+                                " before it was added");
+  }
+}
+
+Protocol ProtocolBuilder::build() {
+  if (built_) {
+    throw std::logic_error("ProtocolBuilder: build() called twice");
+  }
+  built_ = true;
+  const std::size_t n = protocol_.state_names_.size();
+  protocol_.net_ = PetriNet(n);
+  for (Transition& t : pending_) {
+    // States may have been added after the rule; pad to the final count.
+    t.pre.resize(n, 0);
+    t.post.resize(n, 0);
+    protocol_.net_.add_transition(std::move(t));
+  }
+  pending_.clear();
+  return std::move(protocol_);
+}
+
+}  // namespace core
+}  // namespace ppsc

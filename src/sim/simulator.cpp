@@ -1,0 +1,133 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace ppsc {
+namespace sim {
+
+namespace {
+
+using core::Count;
+
+// Sparse view of a transition for the hot loop.
+struct SparseTransition {
+  std::vector<std::pair<std::size_t, Count>> pre;
+  std::vector<std::pair<std::size_t, Count>> delta;  // post - pre, nonzero
+};
+
+std::vector<SparseTransition> sparsify(const core::Protocol& protocol) {
+  std::vector<SparseTransition> out;
+  for (const core::Transition& t : protocol.net().transitions()) {
+    SparseTransition s;
+    for (std::size_t q = 0; q < t.pre.size(); ++q) {
+      if (t.pre[q] > 0) s.pre.emplace_back(q, t.pre[q]);
+      if (t.post[q] != t.pre[q]) s.delta.emplace_back(q, t.post[q] - t.pre[q]);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// Number of distinct agent sets firing `t` in `config`: the product of
+// C(config[q], pre[q]). Doubles are exact far beyond any population the
+// simulator will see.
+double instance_weight(const SparseTransition& t, const core::Config& config) {
+  double weight = 1.0;
+  for (const auto& need : t.pre) {
+    const Count available = config[need.first];
+    if (available < need.second) return 0.0;
+    for (Count k = 0; k < need.second; ++k) {
+      weight *= static_cast<double>(available - k) /
+                static_cast<double>(k + 1);
+    }
+  }
+  return weight;
+}
+
+OutputSummary summarize(const core::Protocol& protocol,
+                        const core::Config& config) {
+  OutputSummary summary;
+  for (std::size_t q = 0; q < config.size(); ++q) {
+    if (config[q] == 0) continue;
+    if (protocol.output(q)) {
+      summary.has_one = true;
+    } else {
+      summary.has_zero = true;
+    }
+  }
+  return summary;
+}
+
+}  // namespace
+
+SilenceRun run_to_silence(const core::Protocol& protocol,
+                          const std::vector<core::Count>& input,
+                          const RunOptions& options) {
+  const std::vector<SparseTransition> transitions = sparsify(protocol);
+  std::vector<double> weights(transitions.size(), 0.0);
+  util::Xoshiro256 rng(options.seed);
+
+  SilenceRun run;
+  run.final_config = protocol.initial_config(input);
+  while (run.steps < options.max_steps) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < transitions.size(); ++i) {
+      weights[i] = instance_weight(transitions[i], run.final_config);
+      total += weights[i];
+    }
+    if (total == 0.0) {
+      run.silent = true;
+      break;
+    }
+    double pick = rng.unit() * total;
+    // Rounding can leave pick barely non-negative after the last
+    // positive weight; never fall through to a disabled transition.
+    std::size_t chosen = 0;
+    for (std::size_t i = 0; i < transitions.size(); ++i) {
+      if (weights[i] == 0.0) continue;
+      chosen = i;
+      pick -= weights[i];
+      if (pick < 0.0) break;
+    }
+    for (const auto& change : transitions[chosen].delta) {
+      run.final_config[change.first] += change.second;
+    }
+    ++run.steps;
+  }
+  run.final_output = summarize(protocol, run.final_config);
+  return run;
+}
+
+ConvergenceStats measure_convergence(const core::ConstructedProtocol& cp,
+                                     const std::vector<core::Count>& input,
+                                     std::size_t runs,
+                                     const RunOptions& options) {
+  ConvergenceStats stats;
+  stats.runs = runs;
+  const bool expected = cp.predicate(input);
+  double total_steps = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    RunOptions per_run = options;
+    per_run.seed = options.seed + r;
+    const SilenceRun run = run_to_silence(cp.protocol, input, per_run);
+    total_steps += static_cast<double>(run.steps);
+    stats.max_steps =
+        std::max(stats.max_steps, static_cast<double>(run.steps));
+    if (run.silent) {
+      ++stats.converged;
+      const bool consensus_one = run.final_output.exactly_one();
+      const bool consensus_zero = run.final_output.subset_of_zero();
+      if ((expected && consensus_one) || (!expected && consensus_zero)) {
+        ++stats.correct;
+      }
+    }
+  }
+  if (runs > 0) stats.mean_steps = total_steps / static_cast<double>(runs);
+  return stats;
+}
+
+}  // namespace sim
+}  // namespace ppsc

@@ -1,0 +1,21 @@
+# Runs a deterministic bench binary and diffs its stdout against the
+# checked-in golden transcript. Invoked by the golden.* CTest entries:
+#   cmake -DBENCH=<binary> -DGOLDEN=<file> -DOUT=<scratch> -P check_golden.cmake
+
+execute_process(
+  COMMAND ${BENCH}
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE bench_status)
+if(NOT bench_status EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with status ${bench_status}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_status)
+if(NOT diff_status EQUAL 0)
+  execute_process(COMMAND diff -u ${GOLDEN} ${OUT})
+  message(FATAL_ERROR
+    "golden mismatch: ${OUT} differs from ${GOLDEN}; if the change is "
+    "intentional, regenerate the golden file from the new output")
+endif()

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bounds/biguint.h"
+
+using ppsc::bounds::BigUint;
+
+TEST(BigUint, SmallValuesRoundTrip) {
+  EXPECT_EQ(BigUint().to_string(), "0");
+  EXPECT_EQ(BigUint(0).to_string(), "0");
+  EXPECT_EQ(BigUint(1).to_string(), "1");
+  EXPECT_EQ(BigUint(999999999).to_string(), "999999999");
+  EXPECT_EQ(BigUint(1000000000).to_string(), "1000000000");
+  EXPECT_EQ(BigUint(18446744073709551615ull).to_string(),
+            "18446744073709551615");
+}
+
+TEST(BigUint, Multiplication) {
+  EXPECT_EQ((BigUint(123456789) * BigUint(987654321)).to_string(),
+            "121932631112635269");
+  // (2^64 - 1)^2 = 340282366920938463426481119284349108225.
+  BigUint max64(18446744073709551615ull);
+  EXPECT_EQ((max64 * max64).to_string(),
+            "340282366920938463426481119284349108225");
+  EXPECT_TRUE((BigUint(7) * BigUint()).is_zero());
+}
+
+TEST(BigUint, PowersOfTwo) {
+  EXPECT_EQ(BigUint::two_pow(0).to_string(), "1");
+  EXPECT_EQ(BigUint::two_pow(10).to_string(), "1024");
+  EXPECT_EQ(BigUint::two_pow(100).to_string(), "1267650600228229401496703205376");
+  EXPECT_EQ(BigUint::two_pow(10).bit_length(), 11u);
+  EXPECT_THROW(BigUint::two_pow(1ull << 40), std::overflow_error);
+}
+
+TEST(BigUint, GeneralPow) {
+  EXPECT_EQ(BigUint::pow(10, 0).to_string(), "1");
+  EXPECT_EQ(BigUint::pow(10, 20).to_string(), "100000000000000000000");
+  EXPECT_EQ(BigUint::pow(3, 40).to_string(), "12157665459056928801");
+}
+
+TEST(BigUint, Digits10AndLog2) {
+  EXPECT_EQ(BigUint().digits10(), 1u);
+  EXPECT_EQ(BigUint(7).digits10(), 1u);
+  EXPECT_EQ(BigUint::pow(10, 20).digits10(), 21u);
+  EXPECT_EQ(BigUint::two_pow(65536).digits10(), 19729u);
+  EXPECT_DOUBLE_EQ(BigUint::two_pow(65536).log2(), 65536.0);
+  EXPECT_NEAR(BigUint(1000).log2(), std::log2(1000.0), 1e-12);
+  EXPECT_NEAR(BigUint::pow(10, 20).log2(), 20.0 * std::log2(10.0), 1e-9);
+}

@@ -1,0 +1,92 @@
+// Pins the bound formulas to hand-computed values at the E10 table rows
+// n = 10^3, 10^6 and 10^100 (log2 n = 9.97, 19.93, 332.2), so the
+// numeric contract printed by the benches is a regression gate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/ackermann.h"
+#include "bounds/formulas.h"
+
+namespace bounds = ppsc::bounds;
+
+TEST(Corollary44, HandComputedRows) {
+  // (log2 log2 n)^h / m, h = 0.49, m = 2.
+  // log2(9.97) = 3.3175935..., 3.3175935^0.49 = 1.799713...
+  EXPECT_NEAR(bounds::corollary44_lower_bound(9.97, 2, 0.49), 0.899857,
+              1e-5);
+  // log2(19.93) = 4.3168698..., ^0.49 = 2.0475418...
+  EXPECT_NEAR(bounds::corollary44_lower_bound(19.93, 2, 0.49), 1.023771,
+              1e-5);
+  // log2(332.2) = 8.3759083..., ^0.49 = 2.8332548...
+  EXPECT_NEAR(bounds::corollary44_lower_bound(332.2, 2, 0.49), 1.416627,
+              1e-5);
+}
+
+TEST(Corollary44, QuarterExponentAndEdgeCases) {
+  // h = 0.25 at n = 10^100: 8.3759083^0.25 = 1.7012102...
+  EXPECT_NEAR(bounds::corollary44_lower_bound(332.2, 2, 0.25), 0.850605,
+              1e-5);
+  EXPECT_EQ(bounds::corollary44_lower_bound(1.0, 2, 0.49), 0.0);
+  EXPECT_EQ(bounds::corollary44_lower_bound(0.5, 2, 0.49), 0.0);
+}
+
+TEST(Theorem43MinStates, InvertsTheBound) {
+  // ceil(sqrt(log2 log2 n / log2 m)) with m = 2.
+  EXPECT_EQ(bounds::theorem43_min_states(9.97, 2), 2);    // sqrt(3.3176)=1.821
+  EXPECT_EQ(bounds::theorem43_min_states(19.93, 2), 3);   // sqrt(4.3169)=2.078
+  EXPECT_EQ(bounds::theorem43_min_states(332.2, 2), 3);   // sqrt(8.3759)=2.894
+  EXPECT_EQ(bounds::theorem43_min_states(1e9, 2), 6);     // sqrt(29.897)=5.47
+  EXPECT_EQ(bounds::theorem43_min_states(1e15, 2), 8);    // sqrt(49.828)=7.06
+  EXPECT_EQ(bounds::theorem43_min_states(0.5, 2), 1);
+}
+
+TEST(Theorem43MinStates, ConsistentWithExactBound) {
+  // For every small d, the inversion maps the exact bound back to d.
+  for (long long d = 2; d <= 4; ++d) {
+    const double log2_bound = bounds::log2_theorem43_bound(2, 2, d);
+    EXPECT_EQ(bounds::theorem43_min_states(log2_bound, 2), d) << "d=" << d;
+    EXPECT_GT(bounds::theorem43_min_states(log2_bound * 1.01, 2), d)
+        << "d=" << d;
+  }
+}
+
+TEST(Theorem43Bound, ExactSmallInstances) {
+  // m = max(2, w, L); bound = 2^(m^(d^2)).
+  EXPECT_EQ(bounds::theorem43_bound(2, 2, 1).to_string(), "4");       // 2^2
+  EXPECT_EQ(bounds::theorem43_bound(2, 2, 2).to_string(), "65536");   // 2^16
+  EXPECT_EQ(bounds::theorem43_bound(1, 0, 2).to_string(), "65536");   // m=2
+  // w=3: 2^(3^4) = 2^81, 25 decimal digits.
+  EXPECT_EQ(bounds::theorem43_bound(3, 2, 2).digits10(), 25u);
+  EXPECT_DOUBLE_EQ(bounds::theorem43_bound(3, 2, 2).log2(), 81.0);
+}
+
+TEST(Theorem43Bound, LogSpaceAgreesWithExact) {
+  // The E10 cross-check: d=4, w=2, L=2 gives 2^65536.
+  const auto exact = bounds::theorem43_bound(2, 2, 4);
+  EXPECT_EQ(exact.digits10(), 19729u);
+  EXPECT_DOUBLE_EQ(exact.log2(), 65536.0);
+  EXPECT_DOUBLE_EQ(bounds::log2_theorem43_bound(2, 2, 4), 65536.0);
+}
+
+TEST(BejShapes, LogAndLogLog) {
+  EXPECT_NEAR(bounds::bej_loglog_states(9.97), 3.3175935, 1e-5);
+  EXPECT_NEAR(bounds::bej_loglog_states(332.2), 8.3759083, 1e-5);
+  EXPECT_EQ(bounds::bej_loglog_states(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bounds::bej_log_states(332.2), 332.2);
+}
+
+TEST(InverseAckermann, FrozenAtThree) {
+  // Largest k with A(k) <= n: A(1)=3, A(2)=7, A(3)=61.
+  EXPECT_EQ(bounds::inverse_ackermann_log2(std::log2(3.0)), 1);
+  EXPECT_EQ(bounds::inverse_ackermann_log2(std::log2(6.9)), 1);
+  EXPECT_EQ(bounds::inverse_ackermann_log2(std::log2(7.0)), 2);
+  EXPECT_EQ(bounds::inverse_ackermann_log2(std::log2(60.9)), 2);
+  EXPECT_EQ(bounds::inverse_ackermann_log2(std::log2(61.0)), 3);
+  // The E10 rows: 10^3, 10^6, 10^100, 2^(10^15) -- all frozen at 3.
+  EXPECT_EQ(bounds::inverse_ackermann_log2(9.97), 3);
+  EXPECT_EQ(bounds::inverse_ackermann_log2(19.93), 3);
+  EXPECT_EQ(bounds::inverse_ackermann_log2(332.2), 3);
+  EXPECT_EQ(bounds::inverse_ackermann_log2(1e15), 3);
+}

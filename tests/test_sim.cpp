@@ -1,0 +1,107 @@
+// Random-scheduler simulation: silence detection, consensus summaries,
+// convergence statistics, and seed determinism. Also pins the table /
+// formatting / RNG utilities the benches print with.
+
+#include <gtest/gtest.h>
+
+#include "core/constructions.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace core = ppsc::core;
+namespace sim = ppsc::sim;
+
+TEST(RunToSilence, Example41Accepts) {
+  const auto cp = core::example_4_1(3);
+  const auto run = sim::run_to_silence(cp.protocol, {5});
+  EXPECT_TRUE(run.silent);
+  EXPECT_GT(run.steps, 0u);
+  EXPECT_TRUE(run.final_output.exactly_one());
+  EXPECT_FALSE(run.final_output.subset_of_zero());
+}
+
+TEST(RunToSilence, Example41RejectsImmediately) {
+  // x < n: the initial configuration is already silent and all-zero.
+  const auto cp = core::example_4_1(3);
+  const auto run = sim::run_to_silence(cp.protocol, {2});
+  EXPECT_TRUE(run.silent);
+  EXPECT_EQ(run.steps, 0u);
+  EXPECT_TRUE(run.final_output.subset_of_zero());
+}
+
+TEST(RunToSilence, StepBudgetIsRespected) {
+  const auto cp = core::unary_counting(4);
+  sim::RunOptions options;
+  options.max_steps = 1;
+  const auto run = sim::run_to_silence(cp.protocol, {16}, options);
+  EXPECT_FALSE(run.silent);
+  EXPECT_EQ(run.steps, 1u);
+}
+
+TEST(RunToSilence, DeterministicForFixedSeed) {
+  const auto cp = core::example_4_2(3);
+  sim::RunOptions options;
+  options.seed = 1234;
+  const auto a = sim::run_to_silence(cp.protocol, {4}, options);
+  const auto b = sim::run_to_silence(cp.protocol, {4}, options);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.final_config, b.final_config);
+}
+
+TEST(MeasureConvergence, MajorityBothSides) {
+  const auto maj = core::majority();
+  const auto heavy_a = sim::measure_convergence(maj, {12, 3}, 5);
+  EXPECT_EQ(heavy_a.runs, 5u);
+  EXPECT_EQ(heavy_a.converged, 5u);
+  EXPECT_EQ(heavy_a.correct, 5u);
+  EXPECT_GT(heavy_a.mean_steps, 0.0);
+  EXPECT_GE(heavy_a.max_steps, heavy_a.mean_steps);
+
+  const auto heavy_b = sim::measure_convergence(maj, {3, 12}, 5);
+  EXPECT_EQ(heavy_b.correct, 5u);
+}
+
+TEST(MeasureConvergence, CountingFamiliesAtThreshold) {
+  for (const auto& family : core::counting_families(4)) {
+    const auto above = sim::measure_convergence(family, {6}, 3);
+    EXPECT_EQ(above.correct, 3u) << family.family;
+    const auto below = sim::measure_convergence(family, {3}, 3);
+    EXPECT_EQ(below.correct, 3u) << family.family;
+  }
+}
+
+TEST(TablePrinter, AlignsAndPads) {
+  ppsc::util::TablePrinter table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer"});
+  EXPECT_EQ(table.to_string(),
+            "name    value\n"
+            "-------------\n"
+            "x       1\n"
+            "longer  \n");
+  EXPECT_THROW(table.add_row({"a", "b", "c"}), std::invalid_argument);
+}
+
+TEST(FormatDouble, SignificantDigits) {
+  EXPECT_EQ(ppsc::util::format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(ppsc::util::format_double(1234567.0, 4), "1.235e+06");
+  EXPECT_EQ(ppsc::util::format_double(0.0, 3), "0");
+}
+
+TEST(Xoshiro, DeterministicAndBounded) {
+  ppsc::util::Xoshiro256 a(42);
+  ppsc::util::Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  ppsc::util::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
