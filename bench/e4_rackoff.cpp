@@ -1,5 +1,6 @@
 // E4 — Lemma 5.3 (Rackoff): shortest covering sequences vs the bound
-// (‖ρ‖∞ + ‖T‖∞)^(|P|^|P|).
+// (‖ρ‖∞ + ‖T‖∞ + 2)^(|P|^|P|) (the numeric convention pinned in
+// bounds/formulas.h).
 //
 // On randomized nets of dimension 2..4 we compute exact shortest covering
 // words by forward BFS and compare the worst observed length against the

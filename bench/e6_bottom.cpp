@@ -56,9 +56,10 @@ int main() {
     // the exact object Section 8 applies Theorem 6.1 to.
     auto c = ppsc::core::example_4_2(3);
     std::vector<bool> mask(c.protocol.num_states(), true);
-    mask[c.protocol.states().at("i")] = false;
-    cases.push_back({"example42 T|P' (n=3)", c.protocol.net().restrict(mask),
-                     c.protocol.leaders().restrict(mask)});
+    mask[c.protocol.states().at("X")] = false;
+    cases.push_back({"example42 T|P' (n=3)",
+                     PetriNet(c.protocol.net()).restrict(mask),
+                     Config(c.protocol.leaders()).restrict(mask)});
   }
 
   for (auto& test_case : cases) {

@@ -117,10 +117,10 @@ int main() {
   for (ppsc::core::Count n : {2, 3}) {
     auto c = ppsc::core::example_4_2(n);
     std::vector<bool> mask(c.protocol.num_states(), true);
-    mask[c.protocol.states().at("i")] = false;
+    mask[c.protocol.states().at("X")] = false;
     auto row = run_pipeline("example42 n=" + std::to_string(n),
-                            c.protocol.net().restrict(mask),
-                            c.protocol.leaders().restrict(mask));
+                            PetriNet(c.protocol.net()).restrict(mask),
+                            Config(c.protocol.leaders()).restrict(mask));
     table.add_row({row.name, row.component, row.edges, row.total_cycle,
                    row.replacement, row.verdict});
   }

@@ -22,6 +22,18 @@
 //  * Upper-bound shapes from Blondin-Esparza-Jaax: bej_loglog_states is
 //    the O(log log n) leaderful shape, bej_log_states the O(log n)
 //    leaderless binary shape, both with unit constant.
+//
+//  * Lemma 5.3 (Rackoff shape): a shortest covering sequence for a
+//    target rho in a d-place net T has length at most
+//    (||rho||_inf + ||T||_inf + 2)^(d^d). log2_rackoff_bound returns
+//    log2 of that, i.e. d^d * log2(r + t + 2).
+//
+//  * Theorem 6.1 length bound: the witness words sigma and w to a
+//    bottom configuration have length at most
+//    b = (||T||_inf + ||rho||_inf + 2)^((d+1)^(d+1)); log2_theorem61_b
+//    returns log2 b = (d+1)^(d+1) * log2(t + r + 2). Like the Rackoff
+//    shape, the point of E4/E6 is that the measured quantities sit
+//    astronomically below these towers, never above.
 
 #ifndef PPSC_BOUNDS_FORMULAS_H
 #define PPSC_BOUNDS_FORMULAS_H
@@ -48,6 +60,14 @@ double log2_theorem43_bound(double w, double L, double d);
 // Upper-bound shapes of [BEJ18]: log2(log2 n) (clamped at 0) and log2 n.
 double bej_loglog_states(double log2_n);
 double bej_log_states(double log2_n);
+
+// Lemma 5.3: d^d * log2(r + t + 2), the log2 of the Rackoff-style cap
+// on shortest covering sequences (r = ||rho||_inf, t = ||T||_inf).
+double log2_rackoff_bound(double r, double t, double d);
+
+// Theorem 6.1: (d+1)^(d+1) * log2(t + r + 2), the log2 of the witness
+// length bound b.
+double log2_theorem61_b(double t, double r, double d);
 
 }  // namespace bounds
 }  // namespace ppsc

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -77,12 +78,18 @@ class Protocol {
  public:
   std::size_t num_states() const { return state_names_.size(); }
   const std::string& state_name(std::size_t q) const { return state_names_[q]; }
+  // Name -> id for every state (duplicate names keep the first id).
+  const std::map<std::string, std::size_t>& states() const {
+    return state_index_;
+  }
   bool output(std::size_t q) const { return outputs_[q] != 0; }
 
   std::size_t input_arity() const { return input_states_.size(); }
   std::size_t input_state(std::size_t dim) const { return input_states_[dim]; }
 
   Count leaders(std::size_t q) const { return leaders_[q]; }
+  // The leader multiset as a configuration over all states.
+  const Config& leaders() const { return leaders_; }
   Count num_leaders() const;
 
   // Maximum number of agents consumed by a single transition.
@@ -101,6 +108,7 @@ class Protocol {
   Protocol() = default;
 
   std::vector<std::string> state_names_;
+  std::map<std::string, std::size_t> state_index_;
   std::vector<int> outputs_;
   std::vector<std::size_t> input_states_;
   std::vector<Count> leaders_;

@@ -1,0 +1,95 @@
+// Dense Petri-net configurations (markings) for the petri/ engines.
+//
+// Unlike core::Config (a bare std::vector tied to a conservative
+// protocol), petri::Config is a small value class usable with arbitrary
+// -- in particular non-conservative -- nets: the coverability,
+// Karp-Miller and bottom-witness engines all create and compare
+// markings structurally, independent of any protocol.
+//
+// Conventions shared across include/ppsc/petri/ (see also
+// coverability.h, karp_miller.h and bottom.h):
+//
+//  * A configuration assigns a count >= 0 to every place; places are
+//    dense indices 0..d-1 and configurations of different dimension
+//    never compare equal.
+//  * `covers` is the componentwise order x >= y that all upward-closed
+//    reasoning (coverability bases, omega-markings) is built on.
+//  * `restrict(keep)` projects onto the places with keep[p] == true,
+//    re-indexing them in increasing order of p. It is the marking-level
+//    counterpart of PetriNet::restrict / PetriNet::project.
+
+#ifndef PPSC_PETRI_CONFIG_H
+#define PPSC_PETRI_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace ppsc {
+namespace petri {
+
+using Count = long long;
+
+class Config {
+ public:
+  Config() = default;
+  explicit Config(std::size_t dimension) : counts_(dimension, 0) {}
+  Config(std::initializer_list<Count> counts) : counts_(counts) {}
+  // Implicit adapter from core::Config (= std::vector<Count>) so
+  // protocol-level markings flow into the petri engines unchanged.
+  Config(std::vector<Count> counts) : counts_(std::move(counts)) {}
+
+  // The configuration with `count` tokens on `place` and 0 elsewhere.
+  static Config unit(std::size_t dimension, std::size_t place,
+                     Count count = 1);
+
+  std::size_t size() const { return counts_.size(); }
+  Count operator[](std::size_t place) const { return counts_[place]; }
+  Count& operator[](std::size_t place) { return counts_[place]; }
+  const std::vector<Count>& raw() const { return counts_; }
+
+  // Largest single-place count (the norm written ||.||_inf in Section 5).
+  Count norm_inf() const;
+
+  // Total number of tokens.
+  Count total() const;
+
+  // Componentwise x >= other (same dimension required).
+  bool covers(const Config& other) const;
+
+  // Projection onto the places with keep[p] == true, re-indexed in
+  // increasing place order.
+  Config restrict(const std::vector<bool>& keep) const;
+
+  friend bool operator==(const Config& a, const Config& b) {
+    return a.counts_ == b.counts_;
+  }
+  friend bool operator!=(const Config& a, const Config& b) {
+    return !(a == b);
+  }
+  // Lexicographic, so configurations can key ordered containers.
+  friend bool operator<(const Config& a, const Config& b) {
+    return a.counts_ < b.counts_;
+  }
+
+ private:
+  std::vector<Count> counts_;
+};
+
+// FNV-1a over the counts, for unordered containers of configurations.
+struct ConfigHash {
+  std::size_t operator()(const Config& config) const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (Count k : config.raw()) {
+      h ^= static_cast<std::uint64_t>(k);
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace petri
+}  // namespace ppsc
+
+#endif  // PPSC_PETRI_CONFIG_H

@@ -1,0 +1,58 @@
+// Coverability: can some reachable marking dominate the target?
+//
+// Two engines, matching the two sides of Lemma 5.3:
+//
+//  * backward_basis / coverable -- the classical backward algorithm on
+//    upward-closed sets. An upward-closed set U is represented by its
+//    (finite, by Dickson's lemma) minimal basis B: U = {x : exists b in
+//    B, x >= b}. Starting from the upward closure of the target, the
+//    predecessor basis under transition t maps b to
+//    max(pre_t, b - (post_t - pre_t)) componentwise; elements dominated
+//    by another basis element are pruned, which is what guarantees
+//    termination. The target is coverable from `source` iff the fixpoint
+//    basis contains an element <= source.
+//
+//  * shortest_covering_word -- exact shortest covering sequences by
+//    forward breadth-first search, the quantity Lemma 5.3's Rackoff
+//    bound (bounds::log2_rackoff_bound) caps. The search is cut off at
+//    `max_nodes` distinct markings; a missing word with `truncated` set
+//    means "not found within the budget", not "uncoverable".
+
+#ifndef PPSC_PETRI_COVERABILITY_H
+#define PPSC_PETRI_COVERABILITY_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "petri/petri_net.h"
+
+namespace ppsc {
+namespace petri {
+
+// Minimal basis of the set of markings from which `target` is coverable.
+// `max_basis` is a safety valve (std::runtime_error beyond it); the
+// algorithm itself always terminates.
+std::vector<Config> backward_basis(const PetriNet& net, const Config& target,
+                                   std::size_t max_basis = 1u << 22);
+
+// True iff some marking >= target is reachable from `source`.
+bool coverable(const PetriNet& net, const Config& source, const Config& target,
+               std::size_t max_basis = 1u << 22);
+
+struct CoveringWordResult {
+  // Shortest transition word sigma with source --sigma--> m >= target.
+  std::optional<std::vector<std::size_t>> word;
+  std::size_t explored = 0;
+  bool truncated = false;
+};
+
+CoveringWordResult shortest_covering_word(const PetriNet& net,
+                                          const Config& source,
+                                          const Config& target,
+                                          std::size_t max_nodes);
+
+}  // namespace petri
+}  // namespace ppsc
+
+#endif  // PPSC_PETRI_COVERABILITY_H

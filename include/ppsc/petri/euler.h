@@ -1,0 +1,38 @@
+// Euler circuits of directed multigraphs -- the merging step of the
+// Section 7 total-cycle construction.
+//
+// Lemma 7.2 builds, for every edge of a strongly connected control
+// graph, one simple cycle through that edge, then merges the resulting
+// multiset of cycles into a single closed walk. The merge is exactly
+// the Euler lemma: a directed multigraph whose every vertex is balanced
+// (in-degree == out-degree, with multiplicities) and whose used edges
+// are connected has an Euler circuit, i.e. a closed walk traversing
+// every edge instance exactly once.
+
+#ifndef PPSC_PETRI_EULER_H
+#define PPSC_PETRI_EULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ppsc {
+namespace petri {
+
+// Euler circuit of the multigraph with `edges[i] = (from, to)` taken
+// `multiplicity[i]` times, starting and ending at `start`. Returns the
+// walk as a sequence of edge indices (an index repeats once per
+// multiplicity), or std::nullopt when the multigraph is unbalanced,
+// its used edges are not connected to `start`, or `start` touches no
+// edge while others do. All-zero multiplicities yield an empty walk.
+std::optional<std::vector<std::size_t>> euler_circuit(
+    std::size_t num_nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    const std::vector<std::uint64_t>& multiplicity, std::size_t start);
+
+}  // namespace petri
+}  // namespace ppsc
+
+#endif  // PPSC_PETRI_EULER_H

@@ -1,0 +1,93 @@
+// General (possibly non-conservative) Petri nets for the decision
+// engines of Sections 5-7.
+//
+// core::PetriNet models population protocols and therefore insists on
+// conservation; the coverability / Karp-Miller / bottom machinery needs
+// nets that pump (Theorem 6.1's whole point is that some places grow
+// without bound), so this layer drops every structural restriction:
+// transitions may create or destroy tokens and may even be identities.
+// An implicit adapter from core::PetriNet lets a protocol's net() flow
+// into the engines directly.
+//
+// Two notions of sub-net are used by the paper and kept distinct here:
+//
+//  * restrict(keep) -- the sub-net T|Q: only transitions whose pre AND
+//    post are entirely supported on the kept places survive (Section 8
+//    restricts Example 4.2 to P \ I this way).
+//  * project(keep)  -- every transition survives with its pre/post
+//    truncated to the kept places. This is the dynamics seen on Q when
+//    all other places hold omega many tokens, which is how bottom
+//    components and control-state nets look at a marking (Section 6-7).
+
+#ifndef PPSC_PETRI_PETRI_NET_H
+#define PPSC_PETRI_PETRI_NET_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.h"
+#include "petri/config.h"
+
+namespace ppsc {
+namespace petri {
+
+struct Transition {
+  Config pre;
+  Config post;
+
+  // Number of tokens consumed (the interaction width of Section 4).
+  Count width() const { return pre.total(); }
+};
+
+class PetriNet {
+ public:
+  explicit PetriNet(std::size_t num_states = 0) : num_states_(num_states) {}
+
+  // Adapter from the protocol-level net: same places, same transitions.
+  PetriNet(const core::PetriNet& net);
+
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_transitions() const { return transitions_.size(); }
+  const Transition& transition(std::size_t i) const { return transitions_[i]; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  // Appends a transition; only dimensions are checked (negative counts
+  // are rejected, identities and non-conservative effects are allowed).
+  void add(Config pre, Config post);
+
+  // Largest entry over all pre and post vectors (||T||_inf).
+  Count norm_inf() const;
+
+  // Largest transition width.
+  Count max_width() const;
+
+  bool enabled(std::size_t t, const Config& config) const;
+  Config fire(std::size_t t, const Config& config) const;
+
+  // Sub-net T|Q: keeps the places with keep[p] == true (re-indexed) and
+  // only the transitions entirely supported on them.
+  PetriNet restrict(const std::vector<bool>& keep) const;
+
+  // Projection: keeps every transition, truncating pre/post to the kept
+  // places. Transition indices are preserved.
+  PetriNet project(const std::vector<bool>& keep) const;
+
+ private:
+  std::size_t num_states_;
+  std::vector<Transition> transitions_;
+};
+
+// One step of the Q-projected dynamics (the Section 6/7 view with
+// omega tokens outside Q): fires `t` restricted to the places with
+// keep[p] == true on `marking`, a configuration over those places.
+// std::nullopt when the projected pre is not covered. Shared by the
+// bottom-witness closure check and ControlStateNet::from_component.
+std::optional<Config> projected_step(const Transition& t,
+                                     const std::vector<bool>& keep,
+                                     const Config& marking);
+
+}  // namespace petri
+}  // namespace ppsc
+
+#endif  // PPSC_PETRI_PETRI_NET_H

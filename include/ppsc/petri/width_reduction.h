@@ -1,0 +1,57 @@
+// Compiling wide transitions to width 2 (the Section 4 construction).
+//
+// A transition consuming w > 2 tokens is replaced by a gather chain:
+// collector places a_2 .. a_{w-1} where a_i represents the first i
+// tokens of the pre-multiset already collected, width-2 steps
+//
+//   p_1 + p_2 -> a_2,   a_i + p_{i+1} -> a_{i+1},   a_{w-1} + p_w -> post
+//
+// (token order fixed by increasing place index). The compiled net is
+// deliberately non-conservative at the Petri level: one a_i token
+// stands for i agents. Width <= 2 transitions are copied unchanged.
+//
+// The compilation is projection-equivalent: `embed` lifts an original
+// marking (zero on collectors), `cleanup` rolls partially gathered
+// collectors back onto their source places, and `project` drops the
+// collector places -- the image under project(cleanup(.)) of the
+// compiled reachability set equals the original reachability set
+// (bench E14 re-checks this on every instance). The price is what
+// Section 4's trade-off predicts: width n protocols pay Theta(n^2)
+// collector places to get width 2.
+
+#ifndef PPSC_PETRI_WIDTH_REDUCTION_H
+#define PPSC_PETRI_WIDTH_REDUCTION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "petri/petri_net.h"
+
+namespace ppsc {
+namespace petri {
+
+struct WidthReduction {
+  PetriNet compiled;                // original places first, then collectors
+  std::size_t original_places = 0;
+  // For each collector place (indexed from original_places), the
+  // multiset of original tokens it stands for.
+  std::vector<Config> collector_contents;
+
+  // Original marking -> compiled marking (collectors empty).
+  Config embed(const Config& original) const;
+
+  // Compiled marking -> original places only (collector counts dropped).
+  Config project(const Config& compiled) const;
+
+  // Rolls every collector token back onto the original places it
+  // gathered, zeroing the collectors (dimension stays compiled).
+  Config cleanup(const Config& compiled) const;
+};
+
+// Compiles every transition of `net` to width <= 2 as above.
+WidthReduction widen_to_width2(const PetriNet& net);
+
+}  // namespace petri
+}  // namespace ppsc
+
+#endif  // PPSC_PETRI_WIDTH_REDUCTION_H

@@ -32,6 +32,13 @@ struct OutputSummary {
   bool exactly_one() const { return has_one && !has_zero; }
   // No agent outputs 1.
   bool subset_of_zero() const { return !has_one; }
+  // Every agent agrees with `expected`; vacuously true for the empty
+  // population. This is the consensus test measure_convergence scores
+  // with, matching verify::check_input's convention that an empty
+  // input is correct no matter what the predicate says.
+  bool unanimous(bool expected) const {
+    return expected ? !has_zero : !has_one;
+  }
 };
 
 struct SilenceRun {

@@ -53,5 +53,13 @@ double bej_loglog_states(double log2_n) {
 
 double bej_log_states(double log2_n) { return log2_n; }
 
+double log2_rackoff_bound(double r, double t, double d) {
+  return std::pow(d, d) * std::log2(r + t + 2.0);
+}
+
+double log2_theorem61_b(double t, double r, double d) {
+  return std::pow(d + 1.0, d + 1.0) * std::log2(t + r + 2.0);
+}
+
 }  // namespace bounds
 }  // namespace ppsc

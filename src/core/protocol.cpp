@@ -95,7 +95,9 @@ std::size_t ProtocolBuilder::add_state(const std::string& name, bool output) {
   protocol_.state_names_.push_back(name);
   protocol_.outputs_.push_back(output ? 1 : 0);
   protocol_.leaders_.push_back(0);
-  return protocol_.state_names_.size() - 1;
+  const std::size_t id = protocol_.state_names_.size() - 1;
+  protocol_.state_index_.emplace(name, id);  // duplicates keep the first id
+  return id;
 }
 
 void ProtocolBuilder::add_input(std::size_t state) {

@@ -1,0 +1,53 @@
+#include "petri/config.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppsc {
+namespace petri {
+
+Config Config::unit(std::size_t dimension, std::size_t place, Count count) {
+  if (place >= dimension) {
+    throw std::invalid_argument("Config::unit: place out of range");
+  }
+  Config config(dimension);
+  config[place] = count;
+  return config;
+}
+
+Count Config::norm_inf() const {
+  Count norm = 0;
+  for (Count k : counts_) norm = std::max(norm, k);
+  return norm;
+}
+
+Count Config::total() const {
+  Count sum = 0;
+  for (Count k : counts_) sum += k;
+  return sum;
+}
+
+bool Config::covers(const Config& other) const {
+  if (counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Config::covers: dimension mismatch");
+  }
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    if (counts_[p] < other.counts_[p]) return false;
+  }
+  return true;
+}
+
+Config Config::restrict(const std::vector<bool>& keep) const {
+  if (keep.size() != counts_.size()) {
+    throw std::invalid_argument("Config::restrict: mask dimension mismatch");
+  }
+  Config out;
+  out.counts_.reserve(counts_.size());
+  for (std::size_t p = 0; p < counts_.size(); ++p) {
+    if (keep[p]) out.counts_.push_back(counts_[p]);
+  }
+  return out;
+}
+
+}  // namespace petri
+}  // namespace ppsc

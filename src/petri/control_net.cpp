@@ -1,0 +1,182 @@
+#include "petri/control_net.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "petri/euler.h"
+
+namespace ppsc {
+namespace petri {
+
+ControlStateNet ControlStateNet::from_component(
+    const PetriNet& net, const std::vector<Config>& members,
+    const std::vector<bool>& q_mask) {
+  if (q_mask.size() != net.num_states()) {
+    throw std::invalid_argument(
+        "ControlStateNet::from_component: mask dimension mismatch");
+  }
+  std::vector<bool> complement(q_mask.size());
+  for (std::size_t p = 0; p < q_mask.size(); ++p) complement[p] = !q_mask[p];
+  ControlStateNet cnet(net.project(complement), members.size());
+
+  std::map<std::vector<Count>, std::size_t> index;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    index.emplace(members[m].raw(), m);
+  }
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+      const auto target = projected_step(net.transition(t), q_mask, members[m]);
+      if (!target.has_value()) continue;
+      auto it = index.find(target->raw());
+      if (it == index.end()) continue;
+      cnet.add_edge(m, t, it->second);
+    }
+  }
+  return cnet;
+}
+
+void ControlStateNet::add_edge(std::size_t from, std::size_t transition,
+                               std::size_t to) {
+  if (from >= num_controls_ || to >= num_controls_) {
+    throw std::invalid_argument("ControlStateNet::add_edge: control range");
+  }
+  if (transition >= net_.num_transitions()) {
+    throw std::invalid_argument("ControlStateNet::add_edge: transition range");
+  }
+  edges_.push_back({from, transition, to});
+}
+
+namespace {
+
+std::vector<bool> reachable_from(
+    std::size_t start, std::size_t n,
+    const std::vector<ControlStateNet::Edge>& edges, bool reversed) {
+  std::vector<bool> seen(n, false);
+  seen[start] = true;
+  std::vector<std::size_t> stack{start};
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const auto& e : edges) {
+      const std::size_t from = reversed ? e.to : e.from;
+      const std::size_t to = reversed ? e.from : e.to;
+      if (from == u && !seen[to]) {
+        seen[to] = true;
+        stack.push_back(to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+bool ControlStateNet::strongly_connected() const {
+  if (num_controls_ <= 1) return true;
+  const std::vector<bool> fwd = reachable_from(0, num_controls_, edges_, false);
+  const std::vector<bool> bwd = reachable_from(0, num_controls_, edges_, true);
+  for (std::size_t s = 0; s < num_controls_; ++s) {
+    if (!fwd[s] || !bwd[s]) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::size_t>> ControlStateNet::total_cycle(
+    std::size_t anchor) const {
+  if (anchor >= num_controls_ || edges_.empty() || !strongly_connected()) {
+    return std::nullopt;
+  }
+  // BFS shortest edge-paths between all control pairs (graphs here are
+  // tiny; |S| rounds of BFS are plenty).
+  std::vector<std::vector<std::size_t>> out(num_controls_);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    out[edges_[e].from].push_back(e);
+  }
+  const std::size_t kNone = static_cast<std::size_t>(-1);
+  auto shortest_path = [&](std::size_t from,
+                           std::size_t to) -> std::vector<std::size_t> {
+    std::vector<std::size_t> via(num_controls_, kNone);  // edge into node
+    std::vector<std::size_t> prev(num_controls_, kNone);
+    std::vector<bool> seen(num_controls_, false);
+    std::deque<std::size_t> queue{from};
+    seen[from] = true;
+    while (!queue.empty() && !seen[to]) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      for (std::size_t e : out[u]) {
+        const std::size_t v = edges_[e].to;
+        if (seen[v]) continue;
+        seen[v] = true;
+        via[v] = e;
+        prev[v] = u;
+        queue.push_back(v);
+      }
+    }
+    std::vector<std::size_t> path;
+    for (std::size_t at = to; at != from; at = prev[at]) {
+      path.push_back(via[at]);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  // One simple cycle per edge: the edge, then a shortest path back to
+  // its tail -- at most |S| edges each, so the multiset has at most
+  // |E| * |S| edge instances.
+  std::vector<std::uint64_t> multiplicity(edges_.size(), 0);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    ++multiplicity[e];
+    for (std::size_t back : shortest_path(edges_[e].to, edges_[e].from)) {
+      ++multiplicity[back];
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> endpoint_list;
+  endpoint_list.reserve(edges_.size());
+  for (const Edge& e : edges_) endpoint_list.emplace_back(e.from, e.to);
+  return euler_circuit(num_controls_, endpoint_list, multiplicity, anchor);
+}
+
+std::vector<std::uint64_t> ControlStateNet::parikh(
+    const std::vector<std::size_t>& walk) const {
+  std::vector<std::uint64_t> counts(edges_.size(), 0);
+  for (std::size_t e : walk) {
+    if (e >= edges_.size()) {
+      throw std::invalid_argument("ControlStateNet::parikh: edge range");
+    }
+    ++counts[e];
+  }
+  return counts;
+}
+
+bool ControlStateNet::is_cycle(const std::vector<std::size_t>& walk,
+                               std::size_t anchor) const {
+  if (walk.empty()) return true;
+  std::size_t at = anchor;
+  for (std::size_t e : walk) {
+    if (e >= edges_.size() || edges_[e].from != at) return false;
+    at = edges_[e].to;
+  }
+  return at == anchor;
+}
+
+std::vector<Count> ControlStateNet::displacement(
+    const std::vector<std::uint64_t>& edge_counts) const {
+  if (edge_counts.size() != edges_.size()) {
+    throw std::invalid_argument("ControlStateNet::displacement: size");
+  }
+  std::vector<Count> delta(net_.num_states(), 0);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    if (edge_counts[e] == 0) continue;
+    const Transition& tr = net_.transition(edges_[e].transition);
+    for (std::size_t p = 0; p < delta.size(); ++p) {
+      delta[p] += static_cast<Count>(edge_counts[e]) * (tr.post[p] - tr.pre[p]);
+    }
+  }
+  return delta;
+}
+
+}  // namespace petri
+}  // namespace ppsc

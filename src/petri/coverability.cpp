@@ -1,0 +1,108 @@
+#include "petri/coverability.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "petri/reachability.h"
+
+namespace ppsc {
+namespace petri {
+
+namespace {
+
+// Minimal marking that enables t and reaches >= m after firing it:
+// componentwise max(pre_t, m - (post_t - pre_t)).
+Config backward_step(const PetriNet& net, std::size_t t, const Config& m) {
+  const Transition& tr = net.transition(t);
+  Config pred(m.size());
+  for (std::size_t p = 0; p < m.size(); ++p) {
+    pred[p] = std::max(tr.pre[p], m[p] - (tr.post[p] - tr.pre[p]));
+  }
+  return pred;
+}
+
+bool dominated(const std::vector<Config>& basis, const Config& m) {
+  for (const Config& b : basis) {
+    if (m.covers(b)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Config> backward_basis(const PetriNet& net, const Config& target,
+                                   std::size_t max_basis) {
+  if (target.size() != net.num_states()) {
+    throw std::invalid_argument("backward_basis: target dimension mismatch");
+  }
+  std::vector<Config> basis{target};
+  std::deque<Config> work{target};
+  while (!work.empty()) {
+    const Config m = std::move(work.front());
+    work.pop_front();
+    // m may have been pruned by a strictly smaller element meanwhile.
+    bool alive = false;
+    for (const Config& b : basis) {
+      if (b == m) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) continue;
+    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+      Config pred = backward_step(net, t, m);
+      if (dominated(basis, pred)) continue;
+      basis.erase(std::remove_if(basis.begin(), basis.end(),
+                                 [&pred](const Config& b) {
+                                   return b.covers(pred);
+                                 }),
+                  basis.end());
+      basis.push_back(pred);
+      if (basis.size() > max_basis) {
+        throw std::runtime_error("backward_basis: basis exceeds max_basis");
+      }
+      work.push_back(std::move(pred));
+    }
+  }
+  return basis;
+}
+
+bool coverable(const PetriNet& net, const Config& source, const Config& target,
+               std::size_t max_basis) {
+  if (source.size() != net.num_states()) {
+    throw std::invalid_argument("coverable: source dimension mismatch");
+  }
+  for (const Config& b : backward_basis(net, target, max_basis)) {
+    if (source.covers(b)) return true;
+  }
+  return false;
+}
+
+CoveringWordResult shortest_covering_word(const PetriNet& net,
+                                          const Config& source,
+                                          const Config& target,
+                                          std::size_t max_nodes) {
+  if (source.size() != net.num_states() ||
+      target.size() != net.num_states()) {
+    throw std::invalid_argument(
+        "shortest_covering_word: dimension mismatch");
+  }
+  CoveringWordResult result;
+  // BFS discovery order makes the first covering node a shortest one.
+  ExploreLimits limits;
+  limits.max_nodes = max_nodes;
+  const ReachabilityGraph graph =
+      explore(net, {source}, limits,
+              [&target](const Config& c) { return c.covers(target); });
+  result.explored = graph.nodes.size();
+  result.truncated = graph.truncated;
+  if (graph.stopped.has_value()) {
+    result.word = graph.word_to(*graph.stopped);
+  }
+  return result;
+}
+
+}  // namespace petri
+}  // namespace ppsc

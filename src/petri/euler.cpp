@@ -1,0 +1,94 @@
+#include "petri/euler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppsc {
+namespace petri {
+
+std::optional<std::vector<std::size_t>> euler_circuit(
+    std::size_t num_nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    const std::vector<std::uint64_t>& multiplicity, std::size_t start) {
+  if (multiplicity.size() != edges.size()) {
+    throw std::invalid_argument("euler_circuit: multiplicity size mismatch");
+  }
+  if (start >= num_nodes) {
+    throw std::invalid_argument("euler_circuit: start out of range");
+  }
+  std::uint64_t total = 0;
+  std::vector<std::int64_t> balance(num_nodes, 0);
+  std::vector<std::vector<std::size_t>> out(num_nodes);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].first >= num_nodes || edges[e].second >= num_nodes) {
+      throw std::invalid_argument("euler_circuit: edge endpoint out of range");
+    }
+    if (multiplicity[e] == 0) continue;
+    total += multiplicity[e];
+    balance[edges[e].first] += static_cast<std::int64_t>(multiplicity[e]);
+    balance[edges[e].second] -= static_cast<std::int64_t>(multiplicity[e]);
+    out[edges[e].first].push_back(e);
+  }
+  for (std::int64_t b : balance) {
+    if (b != 0) return std::nullopt;
+  }
+  if (total == 0) return std::vector<std::size_t>{};
+  // Connectivity of the used edges from start (balance makes forward
+  // reachability enough).
+  std::vector<bool> visited(num_nodes, false);
+  std::vector<std::size_t> stack{start};
+  visited[start] = true;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t e : out[u]) {
+      if (!visited[edges[e].second]) {
+        visited[edges[e].second] = true;
+        stack.push_back(edges[e].second);
+      }
+    }
+  }
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (multiplicity[e] > 0 &&
+        (!visited[edges[e].first] || !visited[edges[e].second])) {
+      return std::nullopt;
+    }
+  }
+  if (out[start].empty()) return std::nullopt;
+
+  // Hierholzer with per-edge remaining counts.
+  std::vector<std::uint64_t> remaining = multiplicity;
+  std::vector<std::size_t> cursor(num_nodes, 0);
+  std::vector<std::size_t> vertex_stack{start};
+  std::vector<std::size_t> edge_stack;
+  std::vector<std::size_t> walk;
+  while (!vertex_stack.empty()) {
+    const std::size_t u = vertex_stack.back();
+    bool advanced = false;
+    while (cursor[u] < out[u].size()) {
+      const std::size_t e = out[u][cursor[u]];
+      if (remaining[e] == 0) {
+        ++cursor[u];
+        continue;
+      }
+      --remaining[e];
+      vertex_stack.push_back(edges[e].second);
+      edge_stack.push_back(e);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      vertex_stack.pop_back();
+      if (!edge_stack.empty()) {
+        walk.push_back(edge_stack.back());
+        edge_stack.pop_back();
+      }
+    }
+  }
+  std::reverse(walk.begin(), walk.end());
+  if (walk.size() != total) return std::nullopt;  // unreachable edges left
+  return walk;
+}
+
+}  // namespace petri
+}  // namespace ppsc

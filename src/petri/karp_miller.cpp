@@ -1,0 +1,104 @@
+#include "petri/karp_miller.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace ppsc {
+namespace petri {
+
+namespace {
+
+bool omega_covers(const Config& a, const Config& b) {
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    if (a[p] == kOmega) continue;
+    if (b[p] == kOmega || a[p] < b[p]) return false;
+  }
+  return true;
+}
+
+bool omega_enabled(const Transition& t, const Config& m) {
+  for (std::size_t p = 0; p < m.size(); ++p) {
+    if (m[p] != kOmega && m[p] < t.pre[p]) return false;
+  }
+  return true;
+}
+
+Config omega_fire(const Transition& t, const Config& m) {
+  Config next = m;
+  for (std::size_t p = 0; p < m.size(); ++p) {
+    if (next[p] != kOmega) next[p] += t.post[p] - t.pre[p];
+  }
+  return next;
+}
+
+}  // namespace
+
+bool KarpMillerResult::covers(const Config& target) const {
+  for (const KarpMillerNode& node : nodes) {
+    if (omega_covers(node.marking, target)) return true;
+  }
+  return false;
+}
+
+std::vector<bool> KarpMillerResult::finite_places(std::size_t node) const {
+  const Config& m = nodes[node].marking;
+  std::vector<bool> keep(m.size());
+  for (std::size_t p = 0; p < m.size(); ++p) keep[p] = m[p] != kOmega;
+  return keep;
+}
+
+KarpMillerResult karp_miller(const PetriNet& net, const Config& root,
+                             std::size_t max_nodes) {
+  if (root.size() != net.num_states()) {
+    throw std::invalid_argument("karp_miller: root dimension mismatch");
+  }
+  KarpMillerResult result;
+  std::unordered_map<Config, std::size_t, ConfigHash> seen;
+  result.nodes.push_back({root, KarpMillerResult::kNoParent, 0});
+  seen.emplace(root, 0);
+  for (std::size_t head = 0; head < result.nodes.size(); ++head) {
+    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+      const Transition& tr = net.transition(t);
+      // Copy: nodes may reallocate while we append successors.
+      const Config current = result.nodes[head].marking;
+      if (!omega_enabled(tr, current)) continue;
+      Config next = omega_fire(tr, current);
+      // Accelerate against the ancestor chain until a fixpoint: each
+      // strictly dominated ancestor promotes its strictly smaller
+      // places to omega, which may unlock further ancestors.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::size_t at = head;; at = result.nodes[at].parent) {
+          const Config& ancestor = result.nodes[at].marking;
+          if (omega_covers(next, ancestor) && next != ancestor) {
+            // Under omega_covers, every finite place of next is also
+            // finite in the ancestor.
+            for (std::size_t p = 0; p < next.size(); ++p) {
+              if (next[p] != kOmega && ancestor[p] < next[p]) {
+                next[p] = kOmega;
+                changed = true;
+              }
+            }
+          }
+          if (at == 0 || result.nodes[at].parent ==
+                             KarpMillerResult::kNoParent) {
+            break;
+          }
+        }
+      }
+      if (seen.count(next)) continue;
+      if (result.nodes.size() >= max_nodes) {
+        result.truncated = true;
+        continue;
+      }
+      seen.emplace(next, result.nodes.size());
+      result.nodes.push_back({std::move(next), head, t});
+    }
+  }
+  return result;
+}
+
+}  // namespace petri
+}  // namespace ppsc

@@ -1,0 +1,153 @@
+#include "petri/reachability.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace ppsc {
+namespace petri {
+
+std::optional<std::size_t> ReachabilityGraph::find(const Config& config) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == config) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> ReachabilityGraph::word_to(std::size_t node) const {
+  std::vector<std::size_t> word;
+  while (parent[node] != kNoParent) {
+    word.push_back(parent_transition[node]);
+    node = parent[node];
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+ReachabilityGraph explore(const PetriNet& net, const std::vector<Config>& roots,
+                          const ExploreLimits& limits,
+                          const std::function<bool(const Config&)>& stop) {
+  ReachabilityGraph graph;
+  std::unordered_map<Config, std::size_t, ConfigHash> ids;
+  for (const Config& root : roots) {
+    if (root.size() != net.num_states()) {
+      throw std::invalid_argument("explore: root dimension mismatch");
+    }
+    if (ids.count(root)) continue;
+    ids.emplace(root, graph.nodes.size());
+    graph.nodes.push_back(root);
+    graph.edges.emplace_back();
+    graph.parent.push_back(ReachabilityGraph::kNoParent);
+    graph.parent_transition.push_back(0);
+    if (!graph.stopped && stop && stop(root)) {
+      graph.stopped = graph.nodes.size() - 1;
+    }
+  }
+  for (std::size_t head = 0;
+       head < graph.nodes.size() && !graph.stopped; ++head) {
+    const Config current = graph.nodes[head];
+    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+      if (!net.enabled(t, current)) continue;
+      Config next = net.fire(t, current);
+      auto it = ids.find(next);
+      if (it == ids.end()) {
+        if (graph.nodes.size() >= limits.max_nodes) {
+          graph.truncated = true;
+          continue;
+        }
+        it = ids.emplace(std::move(next), graph.nodes.size()).first;
+        graph.nodes.push_back(it->first);
+        graph.edges.emplace_back();
+        graph.parent.push_back(head);
+        graph.parent_transition.push_back(t);
+        if (stop && stop(it->first)) {
+          graph.stopped = graph.nodes.size() - 1;
+        }
+      }
+      graph.edges[head].push_back({it->second, t});
+      if (graph.stopped) break;
+    }
+  }
+  return graph;
+}
+
+std::optional<Config> fire_word(const PetriNet& net, Config from,
+                                const std::vector<std::size_t>& word) {
+  for (std::size_t t : word) {
+    if (t >= net.num_transitions() || !net.enabled(t, from)) {
+      return std::nullopt;
+    }
+    from = net.fire(t, from);
+  }
+  return from;
+}
+
+SccDecomposition scc_decompose(const ReachabilityGraph& graph) {
+  const std::size_t n = graph.nodes.size();
+  const std::size_t kNone = static_cast<std::size_t>(-1);
+  SccDecomposition out;
+  out.component.assign(n, kNone);
+  std::vector<std::size_t> index(n, kNone);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t edge;
+  };
+  std::vector<Frame> call_stack;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kNone) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const std::size_t u = frame.node;
+      if (frame.edge < graph.edges[u].size()) {
+        const std::size_t v = graph.edges[u][frame.edge++].target;
+        if (index[v] == kNone) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          call_stack.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            out.component[w] = out.count;
+            if (w == u) break;
+          }
+          ++out.count;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const std::size_t up = call_stack.back().node;
+          lowlink[up] = std::min(lowlink[up], lowlink[u]);
+        }
+      }
+    }
+  }
+  out.bottom.assign(out.count, true);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const ReachEdge& e : graph.edges[u]) {
+      if (out.component[u] != out.component[e.target]) {
+        out.bottom[out.component[u]] = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace petri
+}  // namespace ppsc

@@ -1,0 +1,111 @@
+#include "petri/width_reduction.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ppsc {
+namespace petri {
+
+Config WidthReduction::embed(const Config& original) const {
+  if (original.size() != original_places) {
+    throw std::invalid_argument("WidthReduction::embed: dimension mismatch");
+  }
+  Config out(compiled.num_states());
+  for (std::size_t p = 0; p < original_places; ++p) out[p] = original[p];
+  return out;
+}
+
+Config WidthReduction::project(const Config& compiled_config) const {
+  if (compiled_config.size() != compiled.num_states()) {
+    throw std::invalid_argument("WidthReduction::project: dimension mismatch");
+  }
+  Config out(original_places);
+  for (std::size_t p = 0; p < original_places; ++p) {
+    out[p] = compiled_config[p];
+  }
+  return out;
+}
+
+Config WidthReduction::cleanup(const Config& compiled_config) const {
+  if (compiled_config.size() != compiled.num_states()) {
+    throw std::invalid_argument("WidthReduction::cleanup: dimension mismatch");
+  }
+  Config out = compiled_config;
+  for (std::size_t c = 0; c < collector_contents.size(); ++c) {
+    const std::size_t place = original_places + c;
+    const Count held = out[place];
+    if (held == 0) continue;
+    for (std::size_t p = 0; p < original_places; ++p) {
+      out[p] += held * collector_contents[c][p];
+    }
+    out[place] = 0;
+  }
+  return out;
+}
+
+WidthReduction widen_to_width2(const PetriNet& net) {
+  const std::size_t d = net.num_states();
+  // First pass: count collector places so the compiled dimension is
+  // known before any transition is emitted.
+  std::size_t collectors = 0;
+  for (const Transition& t : net.transitions()) {
+    const Count w = t.width();
+    if (w > 2) collectors += static_cast<std::size_t>(w) - 2;
+  }
+  const std::size_t compiled_dim = d + collectors;
+
+  WidthReduction reduction;
+  reduction.compiled = PetriNet(compiled_dim);
+  reduction.original_places = d;
+
+  auto lift = [&](const Config& original) {
+    Config out(compiled_dim);
+    for (std::size_t p = 0; p < d; ++p) out[p] = original[p];
+    return out;
+  };
+
+  std::size_t next_collector = d;
+  for (const Transition& t : net.transitions()) {
+    const Count w = t.width();
+    if (w <= 2) {
+      reduction.compiled.add(lift(t.pre), lift(t.post));
+      continue;
+    }
+    // The pre-multiset as a token list, increasing place order.
+    std::vector<std::size_t> tokens;
+    for (std::size_t p = 0; p < d; ++p) {
+      for (Count k = 0; k < t.pre[p]; ++k) tokens.push_back(p);
+    }
+    // Gather steps: tokens[0]+tokens[1] -> a, a+tokens[i] -> a', and
+    // the last collector releases the full post.
+    std::size_t held = 0;  // current collector place, once gathering
+    Config held_contents(d);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      Config pre(compiled_dim);
+      if (i == 1) {
+        pre[tokens[0]] += 1;
+        pre[tokens[1]] += 1;
+        held_contents[tokens[0]] += 1;
+        held_contents[tokens[1]] += 1;
+      } else {
+        pre[held] += 1;
+        pre[tokens[i]] += 1;
+        held_contents[tokens[i]] += 1;
+      }
+      if (i + 1 < tokens.size()) {
+        const std::size_t collector = next_collector++;
+        reduction.collector_contents.push_back(held_contents);
+        Config post(compiled_dim);
+        post[collector] = 1;
+        reduction.compiled.add(std::move(pre), std::move(post));
+        held = collector;
+      } else {
+        reduction.compiled.add(std::move(pre), lift(t.post));
+      }
+    }
+  }
+  return reduction;
+}
+
+}  // namespace petri
+}  // namespace ppsc

@@ -1,10 +1,8 @@
 #include "verify/stable.h"
 
-#include <algorithm>
-#include <cstdint>
 #include <stdexcept>
-#include <unordered_map>
-#include <utility>
+
+#include "petri/reachability.h"
 
 namespace ppsc {
 namespace verify {
@@ -13,17 +11,6 @@ namespace {
 
 using core::Config;
 using core::Count;
-
-struct ConfigHash {
-  std::size_t operator()(const Config& config) const {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (Count k : config) {
-      h ^= static_cast<std::uint64_t>(k);
-      h *= 0x100000001b3ull;
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
 
 std::string render_config(const core::Protocol& protocol,
                           const Config& config) {
@@ -36,71 +23,6 @@ std::string render_config(const core::Protocol& protocol,
     out += protocol.state_name(q) + ":" + std::to_string(config[q]);
   }
   return out + "}";
-}
-
-// Explicit-stack Tarjan; returns the SCC id of every node. SCC ids are
-// assigned in reverse topological order (a bottom SCC gets a lower id
-// than its predecessors), but we do not rely on that -- bottomness is
-// detected from cross-SCC edges afterwards.
-std::vector<std::size_t> tarjan_scc(
-    const std::vector<std::vector<std::size_t>>& adjacency,
-    std::size_t* num_sccs) {
-  const std::size_t n = adjacency.size();
-  const std::size_t kNone = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> index(n, kNone);
-  std::vector<std::size_t> lowlink(n, 0);
-  std::vector<std::size_t> scc(n, kNone);
-  std::vector<bool> on_stack(n, false);
-  std::vector<std::size_t> stack;
-  std::size_t next_index = 0;
-  std::size_t next_scc = 0;
-
-  struct Frame {
-    std::size_t node;
-    std::size_t edge;
-  };
-  std::vector<Frame> call_stack;
-
-  for (std::size_t root = 0; root < n; ++root) {
-    if (index[root] != kNone) continue;
-    call_stack.push_back({root, 0});
-    index[root] = lowlink[root] = next_index++;
-    stack.push_back(root);
-    on_stack[root] = true;
-    while (!call_stack.empty()) {
-      Frame& frame = call_stack.back();
-      const std::size_t u = frame.node;
-      if (frame.edge < adjacency[u].size()) {
-        const std::size_t v = adjacency[u][frame.edge++];
-        if (index[v] == kNone) {
-          index[v] = lowlink[v] = next_index++;
-          stack.push_back(v);
-          on_stack[v] = true;
-          call_stack.push_back({v, 0});
-        } else if (on_stack[v]) {
-          lowlink[u] = std::min(lowlink[u], index[v]);
-        }
-      } else {
-        if (lowlink[u] == index[u]) {
-          while (true) {
-            const std::size_t w = stack.back();
-            stack.pop_back();
-            on_stack[w] = false;
-            scc[w] = next_scc;
-            if (w == u) break;
-          }
-          ++next_scc;
-        }
-        call_stack.pop_back();
-        if (!call_stack.empty()) {
-          const std::size_t parent = call_stack.back().node;
-          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
-        }
-      }
-    }
-  }
-  *num_sccs = next_scc;
-  return scc;
 }
 
 }  // namespace
@@ -121,48 +43,29 @@ Verdict check_input(const core::Protocol& protocol,
   }
   const bool expected = predicate(input);
 
-  // Breadth-first exploration of the (finite) reachability graph.
-  std::vector<Config> configs;
-  std::unordered_map<Config, std::size_t, ConfigHash> ids;
-  std::vector<std::vector<std::size_t>> adjacency;
-  configs.push_back(initial);
-  ids.emplace(initial, 0);
-  adjacency.emplace_back();
-  for (std::size_t head = 0; head < configs.size(); ++head) {
-    const Config current = configs[head];
-    for (const core::Transition& t : protocol.net().transitions()) {
-      if (!protocol.net().enabled(t, current)) continue;
-      Config next = protocol.net().fire(t, current);
-      auto inserted = ids.emplace(next, configs.size());
-      if (inserted.second) {
-        if (configs.size() >= options.max_configs) {
-          throw std::runtime_error(
-              "verify::check_input: reachability graph exceeds " +
-              std::to_string(options.max_configs) + " configurations");
-        }
-        configs.push_back(std::move(next));
-        adjacency.emplace_back();
-      }
-      adjacency[head].push_back(inserted.first->second);
-    }
+  // The (finite, by conservation) reachability graph and its SCCs come
+  // from the shared petri engines; the limit check mirrors explore's
+  // truncation boundary, so a graph of exactly max_configs nodes is
+  // still accepted and nothing is recorded past the cap.
+  petri::ExploreLimits limits;
+  limits.max_nodes = options.max_configs;
+  const petri::ReachabilityGraph graph = petri::explore(
+      petri::PetriNet(protocol.net()), {petri::Config(initial)}, limits);
+  if (graph.truncated) {
+    throw std::runtime_error(
+        "verify::check_input: reachability graph exceeds " +
+        std::to_string(options.max_configs) + " configurations");
   }
-  verdict.reachable_configs = configs.size();
+  verdict.reachable_configs = graph.nodes.size();
 
-  std::size_t num_sccs = 0;
-  const std::vector<std::size_t> scc = tarjan_scc(adjacency, &num_sccs);
-  std::vector<bool> bottom(num_sccs, true);
-  for (std::size_t u = 0; u < adjacency.size(); ++u) {
-    for (std::size_t v : adjacency[u]) {
-      if (scc[u] != scc[v]) bottom[scc[u]] = false;
-    }
-  }
-
-  for (std::size_t u = 0; u < configs.size(); ++u) {
-    if (!bottom[scc[u]]) continue;
-    for (std::size_t q = 0; q < configs[u].size(); ++q) {
-      if (configs[u][q] > 0 && protocol.output(q) != expected) {
+  const petri::SccDecomposition scc = petri::scc_decompose(graph);
+  for (std::size_t u = 0; u < graph.nodes.size(); ++u) {
+    if (!scc.bottom[scc.component[u]]) continue;
+    const Config& config = graph.nodes[u].raw();
+    for (std::size_t q = 0; q < config.size(); ++q) {
+      if (config[q] > 0 && protocol.output(q) != expected) {
         verdict.ok = false;
-        verdict.detail = "config " + render_config(protocol, configs[u]) +
+        verdict.detail = "config " + render_config(protocol, config) +
                          " lies in a bottom SCC but state '" +
                          protocol.state_name(q) + "' outputs " +
                          (expected ? "0" : "1") + " (expected consensus " +

@@ -1,0 +1,369 @@
+// The petri/ engines against hand-computed nets: coverability bases,
+// Karp-Miller omega-markings, Theorem 6.1 bottom witnesses, control
+// nets with Euler total cycles, and the width-2 compilation -- each
+// with a negative case.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/constructions.h"
+#include "petri/bottom.h"
+#include "petri/control_net.h"
+#include "petri/coverability.h"
+#include "petri/euler.h"
+#include "petri/karp_miller.h"
+#include "petri/reachability.h"
+#include "petri/width_reduction.h"
+
+namespace petri = ppsc::petri;
+using petri::Config;
+using petri::PetriNet;
+
+namespace {
+
+// a -> b -> c chain.
+PetriNet chain3() {
+  PetriNet net(3);
+  net.add(Config{1, 0, 0}, Config{0, 1, 0});
+  net.add(Config{0, 1, 0}, Config{0, 0, 1});
+  return net;
+}
+
+// a <-> b toggle.
+PetriNet toggle() {
+  PetriNet net(2);
+  net.add(Config{1, 0}, Config{0, 1});
+  net.add(Config{0, 1}, Config{1, 0});
+  return net;
+}
+
+// a -> a + b pump (non-conservative).
+PetriNet pump() {
+  PetriNet net(2);
+  net.add(Config{1, 0}, Config{1, 1});
+  return net;
+}
+
+// Toggle on {a, b} plus a pump a -> a + c.
+PetriNet toggle_pump() {
+  PetriNet net(3);
+  net.add(Config{1, 0, 0}, Config{0, 1, 0});
+  net.add(Config{0, 1, 0}, Config{1, 0, 0});
+  net.add(Config{1, 0, 0}, Config{1, 0, 1});
+  return net;
+}
+
+}  // namespace
+
+TEST(PetriConfig, UnitRestrictAndNorms) {
+  const Config u = Config::unit(4, 2, 5);
+  EXPECT_EQ(u, (Config{0, 0, 5, 0}));
+  EXPECT_EQ(u.norm_inf(), 5);
+  EXPECT_EQ(u.total(), 5);
+  EXPECT_TRUE(u.covers(Config{0, 0, 3, 0}));
+  EXPECT_FALSE(u.covers(Config{1, 0, 0, 0}));
+  EXPECT_EQ(u.restrict({false, true, true, false}), (Config{0, 5}));
+}
+
+TEST(PetriNet, AdapterFromCoreNet) {
+  const auto cp = ppsc::core::example_4_2(3);
+  const PetriNet net(cp.protocol.net());
+  EXPECT_EQ(net.num_states(), cp.protocol.num_states());
+  EXPECT_EQ(net.num_transitions(), cp.protocol.net().num_transitions());
+  EXPECT_EQ(net.max_width(), cp.protocol.width());
+  EXPECT_EQ(net.norm_inf(), 2);  // rally produces F + F
+}
+
+TEST(PetriNet, RestrictKeepsOnlySupportedTransitions) {
+  // Restricting toggle_pump to {a, b} drops the pump (it touches c).
+  const PetriNet restricted = toggle_pump().restrict({true, true, false});
+  EXPECT_EQ(restricted.num_states(), 2u);
+  EXPECT_EQ(restricted.num_transitions(), 2u);
+  // Projection keeps all three, truncated; indices preserved.
+  const PetriNet projected = toggle_pump().project({true, true, false});
+  EXPECT_EQ(projected.num_transitions(), 3u);
+  EXPECT_EQ(projected.transition(2).pre, (Config{1, 0}));
+  EXPECT_EQ(projected.transition(2).post, (Config{1, 0}));
+}
+
+TEST(Explore, FiniteGraphIsExact) {
+  const auto graph = petri::explore(chain3(), {Config{2, 0, 0}});
+  EXPECT_FALSE(graph.truncated);
+  // Multisets of 2 tokens over the chain: (2,0,0) reaches all 6.
+  EXPECT_EQ(graph.nodes.size(), 6u);
+  const auto silent = graph.find(Config{0, 0, 2});
+  ASSERT_TRUE(silent.has_value());
+  const auto word = graph.word_to(*silent);
+  EXPECT_EQ(word.size(), 4u);
+  EXPECT_EQ(petri::fire_word(chain3(), Config{2, 0, 0}, word),
+            (Config{0, 0, 2}));
+}
+
+TEST(Explore, TruncatesPumpingNets) {
+  petri::ExploreLimits limits;
+  limits.max_nodes = 50;
+  const auto graph = petri::explore(pump(), {Config{1, 0}}, limits);
+  EXPECT_TRUE(graph.truncated);
+  EXPECT_EQ(graph.nodes.size(), 50u);
+}
+
+TEST(Coverability, BackwardBasisIsMinimal) {
+  // Net a -> b, target one b: basis is {b:1} plus {a:1}.
+  PetriNet net(2);
+  net.add(Config{1, 0}, Config{0, 1});
+  const auto basis = petri::backward_basis(net, Config{0, 1});
+  ASSERT_EQ(basis.size(), 2u);
+  EXPECT_NE(std::find(basis.begin(), basis.end(), Config{0, 1}), basis.end());
+  EXPECT_NE(std::find(basis.begin(), basis.end(), Config{1, 0}), basis.end());
+}
+
+TEST(Coverability, PositiveAndNegative) {
+  const PetriNet net = chain3();
+  EXPECT_TRUE(petri::coverable(net, Config{3, 0, 0}, Config{0, 0, 3}));
+  EXPECT_TRUE(petri::coverable(net, Config{1, 1, 1}, Config{0, 0, 2}));
+  // Chains conserve tokens: 2 tokens never cover 3.
+  EXPECT_FALSE(petri::coverable(net, Config{2, 0, 0}, Config{0, 0, 3}));
+  // The pump makes b unbounded but never grows a.
+  EXPECT_TRUE(petri::coverable(pump(), Config{1, 0}, Config{1, 7}));
+  EXPECT_FALSE(petri::coverable(pump(), Config{1, 0}, Config{2, 0}));
+}
+
+TEST(Coverability, ShortestWordIsExact) {
+  const PetriNet net = chain3();
+  const auto result = petri::shortest_covering_word(net, Config{1, 0, 0},
+                                                    Config{0, 0, 1}, 1000);
+  ASSERT_TRUE(result.word.has_value());
+  EXPECT_EQ(*result.word, (std::vector<std::size_t>{0, 1}));
+  // Already covered: empty word.
+  const auto trivial =
+      petri::shortest_covering_word(net, Config{0, 0, 1}, Config{0, 0, 1}, 10);
+  ASSERT_TRUE(trivial.word.has_value());
+  EXPECT_TRUE(trivial.word->empty());
+  // Uncoverable in a finite net: no word, not truncated.
+  const auto missing = petri::shortest_covering_word(net, Config{1, 0, 0},
+                                                     Config{0, 0, 2}, 1000);
+  EXPECT_FALSE(missing.word.has_value());
+  EXPECT_FALSE(missing.truncated);
+}
+
+TEST(KarpMiller, AcceleratesPumpToOmega) {
+  const auto km = petri::karp_miller(pump(), Config{1, 0}, 1000);
+  EXPECT_FALSE(km.truncated);
+  EXPECT_TRUE(km.covers(Config{1, 1000000}));
+  EXPECT_FALSE(km.covers(Config{2, 0}));
+  bool has_omega = false;
+  for (std::size_t n = 0; n < km.nodes.size(); ++n) {
+    const auto finite = km.finite_places(n);
+    if (!finite[1]) has_omega = true;
+    EXPECT_TRUE(finite[0]) << "place a must stay finite";
+  }
+  EXPECT_TRUE(has_omega);
+}
+
+TEST(KarpMiller, FiniteNetsGetNoOmega) {
+  const auto km = petri::karp_miller(toggle(), Config{2, 0}, 1000);
+  EXPECT_FALSE(km.truncated);
+  EXPECT_EQ(km.nodes.size(), 3u);  // (2,0), (1,1), (0,2)
+  EXPECT_TRUE(km.covers(Config{0, 2}));
+  EXPECT_FALSE(km.covers(Config{3, 0}));
+}
+
+TEST(KarpMiller, AgreesWithBackwardCoverability) {
+  // Every engine answers the same queries on toggle_pump.
+  const PetriNet net = toggle_pump();
+  const Config source{1, 0, 0};
+  const auto km = petri::karp_miller(net, source, 10000);
+  ASSERT_FALSE(km.truncated);
+  const std::vector<Config> targets = {
+      Config{1, 0, 0}, Config{0, 1, 0}, Config{1, 1, 0}, Config{0, 0, 5},
+      Config{1, 0, 9}, Config{2, 0, 0}, Config{0, 1, 3},
+  };
+  for (const Config& target : targets) {
+    EXPECT_EQ(petri::coverable(net, source, target), km.covers(target))
+        << "target " << target[0] << "," << target[1] << "," << target[2];
+  }
+}
+
+TEST(Bottom, FiniteNetWitness) {
+  // chain a -> b from 3 a's: the unique bottom configuration is (0,3).
+  PetriNet net(2);
+  net.add(Config{1, 0}, Config{0, 1});
+  const auto witness = petri::find_bottom_witness(net, Config{3, 0});
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->sigma.size(), 3u);
+  EXPECT_TRUE(witness->w.empty());
+  EXPECT_EQ(witness->alpha, (Config{0, 3}));
+  EXPECT_EQ(witness->component_size, 1u);
+  EXPECT_EQ(witness->q_mask, std::vector<bool>({true, true}));
+  EXPECT_TRUE(petri::check_bottom_witness(net, Config{3, 0}, *witness));
+}
+
+TEST(Bottom, ToggleComponentIsWholeGraph) {
+  const auto witness = petri::find_bottom_witness(toggle(), Config{3, 0});
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->sigma.empty());  // rho itself is bottom
+  EXPECT_EQ(witness->component_size, 4u);
+  EXPECT_TRUE(petri::check_bottom_witness(toggle(), Config{3, 0}, *witness));
+}
+
+TEST(Bottom, PumpingWitnessHasProperQAndW) {
+  petri::ExploreLimits limits;
+  limits.max_nodes = 5000;
+  const auto witness =
+      petri::find_bottom_witness(pump(), Config{1, 0}, limits);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->q_mask, std::vector<bool>({true, false}));
+  ASSERT_FALSE(witness->w.empty());
+  EXPECT_GT(witness->beta[1], witness->alpha[1]);
+  EXPECT_EQ(witness->beta[0], witness->alpha[0]);
+  EXPECT_TRUE(petri::check_bottom_witness(pump(), Config{1, 0}, *witness,
+                                          limits));
+}
+
+TEST(Bottom, CorruptedWitnessesAreRejected) {
+  petri::ExploreLimits limits;
+  limits.max_nodes = 5000;
+  const PetriNet net = toggle_pump();
+  const Config rho{1, 0, 0};
+  const auto witness = petri::find_bottom_witness(net, rho, limits);
+  ASSERT_TRUE(witness.has_value());
+  ASSERT_TRUE(petri::check_bottom_witness(net, rho, *witness, limits));
+  {
+    auto bad = *witness;
+    bad.sigma.push_back(0);  // replay no longer lands on alpha
+    EXPECT_FALSE(petri::check_bottom_witness(net, rho, bad, limits));
+  }
+  {
+    auto bad = *witness;
+    bad.component_size += 1;
+    EXPECT_FALSE(petri::check_bottom_witness(net, rho, bad, limits));
+  }
+  {
+    auto bad = *witness;
+    bad.q_mask.assign(3, true);  // claims the pump place is bounded
+    EXPECT_FALSE(petri::check_bottom_witness(net, rho, bad, limits));
+  }
+}
+
+TEST(Bottom, ComponentOfToggleRestriction) {
+  const auto component =
+      petri::component_of(toggle(), Config{2, 1});
+  EXPECT_TRUE(component.closed);
+  EXPECT_EQ(component.members.size(), 4u);
+  // A chain's start is its own SCC but not closed.
+  PetriNet net(2);
+  net.add(Config{1, 0}, Config{0, 1});
+  const auto open = petri::component_of(net, Config{1, 0});
+  EXPECT_EQ(open.members.size(), 1u);
+  EXPECT_FALSE(open.closed);
+}
+
+TEST(ControlNet, TotalCycleCoversEveryEdge) {
+  // Triangle with an extra chord 0 -> 1.
+  PetriNet base(1);
+  base.add(Config{0}, Config{0});
+  petri::ControlStateNet cnet(base, 3);
+  cnet.add_edge(0, 0, 1);
+  cnet.add_edge(1, 0, 2);
+  cnet.add_edge(2, 0, 0);
+  cnet.add_edge(0, 0, 1);
+  ASSERT_TRUE(cnet.strongly_connected());
+  const auto cycle = cnet.total_cycle(0);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_TRUE(cnet.is_cycle(*cycle, 0));
+  EXPECT_LE(cycle->size(), cnet.num_edges() * cnet.num_controls());
+  for (std::uint64_t count : cnet.parikh(*cycle)) {
+    EXPECT_GE(count, 1u);
+  }
+}
+
+TEST(ControlNet, NotStronglyConnectedHasNoTotalCycle) {
+  PetriNet base(1);
+  base.add(Config{0}, Config{0});
+  petri::ControlStateNet cnet(base, 2);
+  cnet.add_edge(0, 0, 1);  // no way back
+  EXPECT_FALSE(cnet.strongly_connected());
+  EXPECT_FALSE(cnet.total_cycle(0).has_value());
+}
+
+TEST(ControlNet, FromComponentOfTogglePump) {
+  // Q = {a, b}: controls are (1,0) and (0,1); the pump contributes a
+  // self-loop at (1,0) whose underlying effect creates one c.
+  const PetriNet net = toggle_pump();
+  const std::vector<bool> q_mask{true, true, false};
+  const auto component = petri::component_of(net.restrict(q_mask),
+                                             Config{1, 0});
+  ASSERT_TRUE(component.closed);
+  ASSERT_EQ(component.members.size(), 2u);
+  const auto cnet =
+      petri::ControlStateNet::from_component(net, component.members, q_mask);
+  EXPECT_EQ(cnet.num_controls(), 2u);
+  EXPECT_EQ(cnet.num_edges(), 3u);
+  EXPECT_TRUE(cnet.strongly_connected());
+  EXPECT_EQ(cnet.net().num_states(), 1u);
+  const auto cycle = cnet.total_cycle(0);
+  ASSERT_TRUE(cycle.has_value());
+  const auto displacement = cnet.displacement(cnet.parikh(*cycle));
+  EXPECT_GT(displacement[0], 0);  // the walk pumps c
+}
+
+TEST(Euler, CircuitAndNegatives) {
+  const std::vector<std::pair<std::size_t, std::size_t>> edges = {
+      {0, 1}, {1, 0}, {0, 0}};
+  const auto circuit = petri::euler_circuit(2, edges, {2, 2, 1}, 0);
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->size(), 5u);
+  // Unbalanced multiset: no circuit.
+  EXPECT_FALSE(petri::euler_circuit(2, edges, {2, 1, 0}, 0).has_value());
+  // Disconnected used edges: no circuit.
+  const std::vector<std::pair<std::size_t, std::size_t>> split = {
+      {0, 0}, {1, 1}};
+  EXPECT_FALSE(petri::euler_circuit(2, split, {1, 1}, 0).has_value());
+}
+
+TEST(WidthReduction, HandNetCompilesToWidth2) {
+  // One width-3 transition: 2a + b -> c.
+  PetriNet net(3);
+  net.add(Config{2, 1, 0}, Config{0, 0, 1});
+  const auto reduction = petri::widen_to_width2(net);
+  EXPECT_EQ(reduction.compiled.num_states(), 4u);  // 3 originals + 1 collector
+  EXPECT_EQ(reduction.compiled.num_transitions(), 2u);
+  EXPECT_EQ(reduction.compiled.max_width(), 2);
+  const Config root{2, 1, 0};
+  EXPECT_EQ(reduction.project(reduction.embed(root)), root);
+  // Rolling back a half-gathered marking returns the two a tokens.
+  Config half(4);
+  half[1] = 1;
+  half[3] = 1;  // collector holding {a, a}
+  EXPECT_EQ(reduction.project(reduction.cleanup(half)), (Config{2, 1, 0}));
+}
+
+TEST(WidthReduction, Example41IsProjectionEquivalent) {
+  const auto cp = ppsc::core::example_4_1(3);
+  const PetriNet net(cp.protocol.net());
+  EXPECT_GT(net.max_width(), 2);
+  const auto reduction = petri::widen_to_width2(net);
+  EXPECT_EQ(reduction.compiled.max_width(), 2);
+
+  const Config root{4, 0};  // above threshold
+  std::set<std::vector<petri::Count>> original;
+  for (const auto& node : petri::explore(net, {root}).nodes) {
+    original.insert(node.raw());
+  }
+  std::set<std::vector<petri::Count>> compiled;
+  for (const auto& node :
+       petri::explore(reduction.compiled, {reduction.embed(root)}).nodes) {
+    compiled.insert(reduction.project(reduction.cleanup(node)).raw());
+  }
+  EXPECT_EQ(original, compiled);
+}
+
+TEST(WidthReduction, NarrowNetsPassThrough) {
+  const PetriNet net = toggle();
+  const auto reduction = petri::widen_to_width2(net);
+  EXPECT_EQ(reduction.compiled.num_states(), net.num_states());
+  EXPECT_EQ(reduction.compiled.num_transitions(), net.num_transitions());
+  EXPECT_TRUE(reduction.collector_contents.empty());
+}

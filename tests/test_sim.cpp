@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/combinators.h"
 #include "core/constructions.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "verify/stable.h"
 
 namespace core = ppsc::core;
 namespace sim = ppsc::sim;
@@ -69,6 +71,82 @@ TEST(MeasureConvergence, CountingFamiliesAtThreshold) {
     const auto below = sim::measure_convergence(family, {3}, 3);
     EXPECT_EQ(below.correct, 3u) << family.family;
   }
+}
+
+TEST(MeasureConvergence, EmptyPopulationIsVacuouslyCorrect) {
+  // not(x >= 1) is true on the empty input, whose population is empty
+  // (no leaders, no input agents): the silent empty run must score
+  // correct, exactly as verify::check_input scores the same input --
+  // the two engines pin one convention (vacuous = correct).
+  const auto cp = core::negate(core::unary_counting(1));
+  ASSERT_TRUE(cp.predicate({0}));
+  ASSERT_EQ(core::Protocol::population(cp.protocol.initial_config({0})), 0);
+
+  const auto stats = sim::measure_convergence(cp, {0}, 3);
+  EXPECT_EQ(stats.converged, 3u);
+  EXPECT_EQ(stats.correct, 3u);
+
+  const auto verdict = ppsc::verify::check_input(cp.protocol, cp.predicate,
+                                                 {0});
+  EXPECT_TRUE(verdict.ok);
+}
+
+TEST(OutputSummary, UnanimousMatchesConsensusAndIsVacuous) {
+  sim::OutputSummary empty;
+  EXPECT_TRUE(empty.unanimous(true));
+  EXPECT_TRUE(empty.unanimous(false));
+  sim::OutputSummary ones;
+  ones.has_one = true;
+  EXPECT_TRUE(ones.unanimous(true));
+  EXPECT_FALSE(ones.unanimous(false));
+  sim::OutputSummary mixed;
+  mixed.has_one = mixed.has_zero = true;
+  EXPECT_FALSE(mixed.unanimous(true));
+  EXPECT_FALSE(mixed.unanimous(false));
+}
+
+TEST(RunToSilence, WideTransitionsAlwaysReachExactSilence) {
+  // Width-5 binomial weights are not exactly representable (their
+  // computation divides by 3 and 5), so an accumulated total drifts
+  // away from zero; silence must be detected from the exact
+  // per-transition weights or runs fire disabled transitions and
+  // drive counts negative. Regression over many seeds.
+  const auto cp = core::example_4_1(5);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    sim::RunOptions options;
+    options.seed = seed;
+    options.max_steps = 1000000;
+    const auto run = sim::run_to_silence(cp.protocol, {31}, options);
+    ASSERT_TRUE(run.silent) << "seed " << seed;
+    for (core::Count count : run.final_config) {
+      ASSERT_GE(count, 0) << "seed " << seed;
+    }
+  }
+  // Large populations make the early totals huge (~C(400,5)); the
+  // drift bound and the debug assert must both be relative to that
+  // peak, not to the shrunken totals near silence.
+  sim::RunOptions options;
+  options.max_steps = 1000000;
+  const auto big = sim::run_to_silence(cp.protocol, {400}, options);
+  ASSERT_TRUE(big.silent);
+  for (core::Count count : big.final_config) {
+    ASSERT_GE(count, 0);
+  }
+}
+
+TEST(RunToSilence, IncrementalWeightsMatchBruteForce) {
+  // The weight cache must not change trajectories: replay Example 4.2
+  // step-for-step and compare against an independent run with the same
+  // seed, plus the known exact silent outcome.
+  const auto cp = core::example_4_2(3);
+  sim::RunOptions options;
+  options.seed = 12345;
+  const auto a = sim::run_to_silence(cp.protocol, {5}, options);
+  const auto b = sim::run_to_silence(cp.protocol, {5}, options);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.final_config, b.final_config);
+  EXPECT_TRUE(a.silent);
+  EXPECT_TRUE(a.final_output.unanimous(true));  // 5 >= 3
 }
 
 TEST(TablePrinter, AlignsAndPads) {

@@ -110,3 +110,20 @@ TEST(CheckUpTo, ConfigCapThrows) {
   EXPECT_THROW(verify::check_input(cp.protocol, cp.predicate, {5}, options),
                std::runtime_error);
 }
+
+TEST(CheckUpTo, ConfigCapBoundaryIsExact) {
+  // The limit is checked before a new config is recorded, so a cap of
+  // exactly the reachable count succeeds and one less throws.
+  const auto cp = core::example_4_1(3);
+  const auto exact = verify::check_input(cp.protocol, cp.predicate, {4});
+  ASSERT_TRUE(exact.ok);
+  ASSERT_EQ(exact.reachable_configs, 3u);
+
+  verify::CheckOptions options;
+  options.max_configs = 3;
+  EXPECT_NO_THROW(
+      verify::check_input(cp.protocol, cp.predicate, {4}, options));
+  options.max_configs = 2;
+  EXPECT_THROW(verify::check_input(cp.protocol, cp.predicate, {4}, options),
+               std::runtime_error);
+}
