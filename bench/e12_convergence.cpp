@@ -41,7 +41,7 @@ int main() {
                    std::to_string(job.population), std::to_string(stats.runs),
                    std::to_string(stats.correct),
                    ppsc::util::format_double(stats.mean_steps, 5),
-                   ppsc::util::format_double(stats.max_steps, 5)});
+                   ppsc::util::format_double(stats.max_steps_observed, 5)});
   }
 
   // Majority with a two-dimensional input. The 4-state protocol's tie rule
@@ -66,7 +66,7 @@ int main() {
       table.add_row({side.label, "-", std::to_string(population),
                      std::to_string(stats.runs), std::to_string(stats.correct),
                      ppsc::util::format_double(stats.mean_steps, 5),
-                     ppsc::util::format_double(stats.max_steps, 5)});
+                     ppsc::util::format_double(stats.max_steps_observed, 5)});
     }
   }
   table.print();

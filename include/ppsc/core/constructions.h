@@ -35,6 +35,14 @@ ConstructedProtocol example_4_2(Count n);
 // exactly when some interaction accumulates n. Stably computes (i >= n).
 ConstructedProtocol unary_counting(Count n);
 
+// unary_counting with inputs funnelled through a transient "fresh"
+// state that a width-1 decay rule tears down. Same predicate (i >= n)
+// and the same merge dynamics, but the width-1 rule defeats the
+// pairwise rule-table compilation (sim::PairRuleTable::build returns
+// null), forcing the count-based scheduler -- the e15 ablation uses it
+// to exercise exactly that fallback.
+ConstructedProtocol destructive_unary_counting(Count n);
+
 // Leaderless width-2 family with log2(n) + 2 states for n a power of
 // two: agents hold powers of two, equal values merge upward, and any
 // pair summing to >= n converts to the spreading top state. Stably

@@ -77,12 +77,29 @@ class Config {
   std::vector<Count> counts_;
 };
 
-// FNV-1a over the counts, for unordered containers of configurations.
+// FNV-1a folding of splitmix64-mixed counts, for unordered containers
+// of configurations. Raw counts are tiny integers (markings are mostly
+// 0s and 1s), and folding them directly leaves most of the hash state
+// untouched -- permuted small markings then collide trivially. The
+// splitmix64 finalizer spreads each count over all 64 bits before the
+// fold, so both the value and its position genuinely mix.
 struct ConfigHash {
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64's gamma increment keeps zero counts from mixing to 0
+    // (the finalizer alone is a bijection fixing 0).
+    x += 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
   std::size_t operator()(const Config& config) const {
     std::uint64_t h = 0xcbf29ce484222325ull;
     for (Count k : config.raw()) {
-      h ^= static_cast<std::uint64_t>(k);
+      h ^= mix(static_cast<std::uint64_t>(k));
       h *= 0x100000001b3ull;
     }
     return static_cast<std::size_t>(h);

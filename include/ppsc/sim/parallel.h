@@ -1,0 +1,35 @@
+// Deterministic multi-threaded convergence sweeps.
+//
+// A sweep of R runs derives per-run seeds as options.seed + r, exactly
+// like the serial measure_convergence always has, and stores each
+// run's outcome at its run index before aggregating in index order --
+// so the statistics are bit-identical for 1 thread and N threads, and
+// independent of how the OS interleaves the workers. Worker threads
+// share one immutable PairRuleTable: each run takes the agent-array
+// fast path when the protocol compiles to one, and the count scheduler
+// otherwise.
+
+#ifndef PPSC_SIM_PARALLEL_H
+#define PPSC_SIM_PARALLEL_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/protocol.h"
+#include "sim/simulator.h"
+
+namespace ppsc {
+namespace sim {
+
+// Runs `runs` independent simulations across `num_threads` worker
+// threads (0 = one per hardware thread, capped at the run count) and
+// aggregates their convergence statistics in run-index order.
+ConvergenceStats measure_convergence_parallel(
+    const core::ConstructedProtocol& cp, const std::vector<core::Count>& input,
+    std::size_t runs, const RunOptions& options = {},
+    unsigned num_threads = 0);
+
+}  // namespace sim
+}  // namespace ppsc
+
+#endif  // PPSC_SIM_PARALLEL_H

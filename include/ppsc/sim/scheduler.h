@@ -1,0 +1,177 @@
+// Scheduler architecture for the sim subsystem.
+//
+// Two interchangeable schedulers drive a protocol's interaction
+// dynamics and share one census/output accounting path (see
+// summarize_output in sim/simulator.h):
+//
+//  * AgentSimulator -- the classical uniform-random-pair scheduler over
+//    an explicit agent array: each step draws an ordered pair of
+//    distinct agents uniformly at random and fires the width-2 rule
+//    their states enable, if any. O(1) per drawn interaction plus
+//    O(partner-degree) silence bookkeeping per productive one, so
+//    populations of millions of agents are cheap. Requires a
+//    PairRuleTable, i.e. a deterministic pairwise net.
+//  * CountSimulator -- the instantiation-weighted transition sampler
+//    extracted from the original monolithic run_to_silence: each step
+//    fires one enabled transition with probability proportional to its
+//    number of distinct agent instantiations. Works for any
+//    conservative net (arbitrary width), at a per-step cost in the
+//    number of transitions and the population-independent count vector.
+//
+// Conditional on drawing a productive interaction, the agent scheduler
+// selects transition t with probability weight(t) / total -- exactly
+// the count scheduler's law -- so the two schedulers' productive-step
+// chains are identical in distribution on deterministic pairwise nets
+// (tests/test_scheduler.cpp checks this empirically). Both report
+// progress in *productive* interactions via steps(), making their
+// convergence statistics directly comparable; the agent scheduler
+// additionally counts raw draws via interactions().
+
+#ifndef PPSC_SIM_SCHEDULER_H
+#define PPSC_SIM_SCHEDULER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.h"
+#include "util/rng.h"
+
+namespace ppsc {
+namespace sim {
+
+// Width-2 rules compiled into a dense state x state lookup: cell (a, b)
+// holds the successor states of an ordered agent pair in states (a, b),
+// or kNoRule. The table is symmetric as a multiset map -- a rule with
+// pre {a, b} fills both (a, b) and (b, a), with the outcome swapped --
+// so the ordered uniform pair draw implements the unordered interaction.
+class PairRuleTable {
+ public:
+  static constexpr std::uint32_t kNoRule = 0xffffffffu;
+
+  struct Outcome {
+    std::uint32_t first = kNoRule;   // successor of the first agent
+    std::uint32_t second = kNoRule;  // successor of the second agent
+  };
+
+  // Compiles `protocol` into a pair table. Returns std::nullopt when the
+  // net is not deterministic pairwise: some transition has width != 2,
+  // or two transitions share a pre pair (the count scheduler remains the
+  // fallback for both cases, with the same productive-step law).
+  static std::optional<PairRuleTable> build(const core::Protocol& protocol);
+
+  std::size_t num_states() const { return num_states_; }
+
+  // The outcome for an ordered state pair, or nullptr when the pair has
+  // no rule (a null interaction).
+  const Outcome* rule(std::uint32_t a, std::uint32_t b) const {
+    const Outcome& cell = cells_[a * num_states_ + b];
+    return cell.first == kNoRule ? nullptr : &cell;
+  }
+
+  // States b with a rule against a (including b == a), ascending. The
+  // agent scheduler's incremental silence bookkeeping walks these.
+  const std::vector<std::uint32_t>& partners(std::size_t a) const {
+    return partners_[a];
+  }
+
+ private:
+  std::size_t num_states_ = 0;
+  std::vector<Outcome> cells_;  // num_states^2, row-major
+  std::vector<std::vector<std::uint32_t>> partners_;
+};
+
+// Uniform random-pair scheduler over an explicit agent array. Silence
+// (no unordered agent pair enables a rule) is tracked incrementally:
+// enabled_pairs() maintains the number of enabled *ordered* agent pairs
+// under count updates, so silent() is O(1) at any time.
+class AgentSimulator {
+ public:
+  // The table must outlive the simulator. `initial` is a configuration
+  // over the protocol's states (agent counts per state).
+  AgentSimulator(const PairRuleTable& table, const core::Config& initial,
+                 std::uint64_t seed);
+
+  // Draws one ordered pair of distinct agents uniformly at random and
+  // fires its rule if one exists. Returns true iff the interaction was
+  // productive. Populations below 2 only ever draw null interactions.
+  bool step();
+
+  bool silent() const { return enabled_pairs_ == 0; }
+  // Productive interactions so far (the unit every convergence
+  // statistic is measured in).
+  std::uint64_t steps() const { return steps_; }
+  // Raw draws so far, null interactions included.
+  std::uint64_t interactions() const { return interactions_; }
+
+  // Current per-state agent counts.
+  const core::Config& census() const { return counts_; }
+  core::Count population() const {
+    return static_cast<core::Count>(agents_.size());
+  }
+
+  // Number of enabled ordered agent pairs (i, j), i != j; 0 iff silent.
+  long long enabled_pairs() const { return enabled_pairs_; }
+
+ private:
+  // Sum of enabled ordered pair counts over cells involving `state`.
+  long long pair_contribution(std::size_t state) const;
+  // Applies one count delta while keeping enabled_pairs_ exact.
+  void change_count(std::size_t state, core::Count delta);
+
+  const PairRuleTable* table_;
+  util::Xoshiro256 rng_;
+  std::vector<std::uint32_t> agents_;
+  core::Config counts_;
+  long long enabled_pairs_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t interactions_ = 0;
+};
+
+// Instantiation-weighted transition sampler with the incremental
+// weight cache (only transitions whose pre touches the fired delta are
+// recomputed; silence is detected from the exact per-transition
+// weights, never the drift-prone accumulated total).
+class CountSimulator {
+ public:
+  CountSimulator(const core::Protocol& protocol, core::Config initial,
+                 std::uint64_t seed);
+
+  // Fires one enabled transition, weighted by instantiation count.
+  // Returns false (and fires nothing) iff the configuration is silent.
+  bool step();
+
+  bool silent() const { return num_active_ == 0; }
+  std::uint64_t steps() const { return steps_; }
+  const core::Config& census() const { return config_; }
+
+ private:
+  struct SparseTransition {
+    std::vector<std::pair<std::size_t, core::Count>> pre;
+    std::vector<std::pair<std::size_t, core::Count>> delta;  // post - pre
+  };
+
+  double instance_weight(const SparseTransition& t) const;
+
+  util::Xoshiro256 rng_;
+  core::Config config_;
+  std::vector<SparseTransition> transitions_;
+  // dependents_[q]: transitions whose pre touches state q.
+  std::vector<std::vector<std::size_t>> dependents_;
+  std::vector<std::uint64_t> touched_;
+  std::uint64_t stamp_ = 0;
+  std::vector<double> weights_;
+  double total_ = 0.0;
+  double peak_total_ = 0.0;  // largest total since the last rebuild
+  std::size_t num_active_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+// The name the scheduler-architecture docs use for the count-based
+// scheduler; identical type.
+using CountScheduler = CountSimulator;
+
+}  // namespace sim
+}  // namespace ppsc
+
+#endif  // PPSC_SIM_SCHEDULER_H

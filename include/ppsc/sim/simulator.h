@@ -1,10 +1,13 @@
-// Random-scheduler simulation. Each step draws one enabled transition
-// instance uniformly at random: a transition's weight is the number of
-// distinct agent sets that can fire it (the product of binomials of its
-// pre-multiset), which for width-2 rules reproduces the classical
-// uniform random-pair scheduler restricted to productive interactions.
-// Steps therefore count productive interactions; a run is silent when
-// no transition is enabled.
+// High-level simulation entry points, built on the scheduler
+// architecture in sim/scheduler.h: run_to_silence drives a
+// CountSimulator (exact silence detection for any conservative net),
+// while measure_convergence routes every run through the agent-array
+// fast path whenever the protocol compiles to a PairRuleTable and
+// falls back to the count scheduler otherwise. Steps always count
+// *productive* interactions -- for width-2 rules both schedulers
+// reproduce the classical uniform random-pair scheduler restricted to
+// productive interactions -- and a run is silent when no transition is
+// enabled.
 
 #ifndef PPSC_SIM_SIMULATOR_H
 #define PPSC_SIM_SIMULATOR_H
@@ -22,6 +25,13 @@ struct RunOptions {
   std::uint64_t max_steps = 20000000;
   // Base seed; run r of a measurement uses seed + r.
   std::uint64_t seed = 0x5eed;
+  // Agent-array fast path only: poll the silence flag every this many
+  // drawn interactions. Recorded steps count productive interactions,
+  // which stop occurring once the run is silent, so a larger interval
+  // never distorts statistics -- it only trades a few wasted draws
+  // after silence for a tighter hot loop. The count scheduler detects
+  // silence exactly on every step and ignores this.
+  std::uint64_t silence_check_interval = 16;
 };
 
 struct OutputSummary {
@@ -41,6 +51,11 @@ struct OutputSummary {
   }
 };
 
+// The shared output-census accounting path: collapses a configuration
+// into its output summary. Every scheduler's census() feeds this.
+OutputSummary summarize_output(const core::Protocol& protocol,
+                               const core::Config& config);
+
 struct SilenceRun {
   bool silent = false;
   std::uint64_t steps = 0;
@@ -58,11 +73,16 @@ struct ConvergenceStats {
   std::size_t converged = 0;
   // Converged runs whose consensus matches the predicate.
   std::size_t correct = 0;
-  // Over all runs; non-converged runs contribute max_steps.
+  // Over all runs; non-converged runs contribute their step budget.
   double mean_steps = 0.0;
-  double max_steps = 0.0;
+  // Largest observed per-run step count (not the RunOptions::max_steps
+  // budget, which bounds it from above).
+  double max_steps_observed = 0.0;
 };
 
+// Serial convergence sweep: runs `runs` independent simulations with
+// seeds options.seed + r and aggregates. Equivalent to the parallel
+// sweep in sim/parallel.h with one thread (it is implemented on it).
 ConvergenceStats measure_convergence(const core::ConstructedProtocol& cp,
                                      const std::vector<core::Count>& input,
                                      std::size_t runs,

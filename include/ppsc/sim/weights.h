@@ -1,0 +1,33 @@
+// The instantiation-weight law shared by the schedulers and the exact
+// expected-time solver: a transition's weight is the number of
+// distinct agent sets firing it, the product over places of
+// C(available, need). Keeping the per-place factor here gives the law
+// a single definition, so the sampler and the solver cannot silently
+// diverge -- the e18 exact-vs-sampled agreement depends on them
+// computing the very same chain.
+
+#ifndef PPSC_SIM_WEIGHTS_H
+#define PPSC_SIM_WEIGHTS_H
+
+#include "core/protocol.h"
+
+namespace ppsc {
+namespace sim {
+
+// C(available, need) as the running product (available - k) / (k + 1),
+// k = 0..need-1. Exact in double far beyond any population the
+// simulator will see; instantiate with long double for the solver.
+template <typename Float>
+Float binomial_instances(core::Count available, core::Count need) {
+  if (available < need) return Float(0);
+  Float weight(1);
+  for (core::Count k = 0; k < need; ++k) {
+    weight *= static_cast<Float>(available - k) / static_cast<Float>(k + 1);
+  }
+  return weight;
+}
+
+}  // namespace sim
+}  // namespace ppsc
+
+#endif  // PPSC_SIM_WEIGHTS_H

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Formats the whole tree with the pinned clang-format major version, or
+# verifies it with --check (what CI's blocking format job runs). The
+# major version is pinned so formatter upgrades cannot silently change
+# the rules; set CLANG_FORMAT to override the binary.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format-18}"
+if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT to override)" >&2
+  exit 1
+fi
+
+if [ "${1:-}" = "--check" ]; then
+  MODE="--dry-run --Werror"
+else
+  MODE="-i"
+fi
+
+find include src tests bench \( -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 "$CLANG_FORMAT" $MODE

@@ -58,7 +58,13 @@ ConstructedProtocol example_4_2(Count n) {
   return {"example 4.2 (n leaders)", b.build(), counting_predicate(n)};
 }
 
-ConstructedProtocol unary_counting(Count n) {
+namespace {
+
+// Shared body of unary_counting and destructive_unary_counting: the
+// destructive variant routes inputs through a transient state with a
+// width-1 decay rule, which changes nothing about the predicate but
+// makes the net non-pairwise.
+ConstructedProtocol build_unary_counting(Count n, bool destructive) {
   if (n < 1) throw std::invalid_argument("unary_counting: n must be >= 1");
   ProtocolBuilder b;
   // State (v, d): accumulated count v in [0, n], sticky witness bit d.
@@ -69,7 +75,13 @@ ConstructedProtocol unary_counting(Count n) {
           b.add_state(count_str(v) + (d ? "!" : ""), d != 0));
     }
   }
-  b.add_input(id[1][0]);
+  if (destructive) {
+    const std::size_t fresh = b.add_state("fresh", false);
+    b.add_input(fresh);
+    b.add_rule("decay", {{fresh, 1}}, {{id[1][0], 1}});
+  } else {
+    b.add_input(id[1][0]);
+  }
   for (Count va = 0; va <= n; ++va) {
     for (Count vb = 0; vb <= va; ++vb) {
       const Count sum = va + vb;
@@ -89,7 +101,19 @@ ConstructedProtocol unary_counting(Count n) {
       }
     }
   }
-  return {"unary (Theta(n) states)", b.build(), counting_predicate(n)};
+  return {destructive ? "unary destructive (width-1 decay)"
+                      : "unary (Theta(n) states)",
+          b.build(), counting_predicate(n)};
+}
+
+}  // namespace
+
+ConstructedProtocol unary_counting(Count n) {
+  return build_unary_counting(n, /*destructive=*/false);
+}
+
+ConstructedProtocol destructive_unary_counting(Count n) {
+  return build_unary_counting(n, /*destructive=*/true);
 }
 
 ConstructedProtocol binary_counting(Count n) {

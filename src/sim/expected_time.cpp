@@ -1,0 +1,163 @@
+#include "sim/expected_time.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "petri/config.h"
+#include "petri/petri_net.h"
+#include "petri/reachability.h"
+#include "sim/weights.h"
+
+namespace ppsc {
+namespace sim {
+
+namespace {
+
+// Largest dense block the per-SCC Gaussian elimination will attempt;
+// protocols whose chains have bigger strongly-connected pockets are
+// reported uncomputed rather than silently slow.
+constexpr std::size_t kMaxDenseComponent = 2048;
+
+// Instantiation count of `t` in `config`: the product of binomials
+// C(config[p], pre[p]), the same weight law both schedulers sample
+// with (sim/weights.h holds the shared per-place factor).
+long double instance_weight(const petri::Transition& t,
+                            const petri::Config& config) {
+  long double weight = 1.0L;
+  for (std::size_t p = 0; p < config.size(); ++p) {
+    const petri::Count need = t.pre[p];
+    if (need == 0) continue;
+    const long double factor =
+        binomial_instances<long double>(config[p], need);
+    if (factor == 0.0L) return 0.0L;
+    weight *= factor;
+  }
+  return weight;
+}
+
+// Solves A x = b in place by Gaussian elimination with partial
+// pivoting; returns false when a pivot falls below the singularity
+// threshold relative to the matrix scale.
+bool solve_dense(std::vector<std::vector<long double>>& a,
+                 std::vector<long double>& b,
+                 std::vector<long double>& x) {
+  const std::size_t m = b.size();
+  long double scale = 0.0L;
+  for (const auto& row : a) {
+    for (long double v : row) scale = std::max(scale, std::abs(v));
+  }
+  const long double threshold = 1e-12L * std::max(1.0L, scale);
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < m; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) <= threshold) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < m; ++row) {
+      const long double factor = a[row][col] / a[col][col];
+      if (factor == 0.0L) continue;
+      for (std::size_t k = col; k < m; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  x.assign(m, 0.0L);
+  for (std::size_t col = m; col-- > 0;) {
+    long double sum = b[col];
+    for (std::size_t k = col + 1; k < m; ++k) {
+      sum -= a[col][k] * x[k];
+    }
+    x[col] = sum / a[col][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+ExpectedTimeResult expected_interactions_to_silence(
+    const core::Protocol& protocol, const std::vector<core::Count>& input,
+    std::size_t max_configs) {
+  ExpectedTimeResult result;
+  const petri::PetriNet net(protocol.net());
+  petri::ExploreLimits limits;
+  limits.max_nodes = max_configs;
+  const petri::ReachabilityGraph graph =
+      petri::explore(net, {protocol.initial_config(input)}, limits);
+  result.reachable_configs = graph.nodes.size();
+  if (graph.truncated) {
+    result.truncated = true;
+    return result;
+  }
+
+  const std::size_t n = graph.nodes.size();
+  // Per-edge jump probabilities of the productive-step chain. The
+  // graph is untruncated, so every enabled transition of every node
+  // has its edge and the per-node weights sum to W(c).
+  std::vector<std::vector<long double>> edge_probability(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    long double total = 0.0L;
+    edge_probability[i].reserve(graph.edges[i].size());
+    for (const petri::ReachEdge& edge : graph.edges[i]) {
+      const long double w =
+          instance_weight(net.transition(edge.transition), graph.nodes[i]);
+      edge_probability[i].push_back(w);
+      total += w;
+    }
+    for (long double& p : edge_probability[i]) p /= total;
+  }
+
+  const petri::SccDecomposition scc = petri::scc_decompose(graph);
+  std::vector<std::vector<std::size_t>> members(scc.count);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[scc.component[i]].push_back(i);
+  }
+
+  // Tarjan numbers components in reverse topological order: every edge
+  // leaving component c lands in a component with a smaller id, so a
+  // single ascending pass sees all successors solved.
+  std::vector<long double> expected(n, 0.0L);
+  std::vector<std::size_t> local(n, 0);
+  for (std::size_t c = 0; c < scc.count; ++c) {
+    const std::vector<std::size_t>& nodes = members[c];
+    if (nodes.size() == 1 && graph.edges[nodes[0]].empty()) {
+      expected[nodes[0]] = 0.0L;  // silent, absorbing
+      continue;
+    }
+    const std::size_t m = nodes.size();
+    if (m > kMaxDenseComponent) return result;
+    for (std::size_t li = 0; li < m; ++li) local[nodes[li]] = li;
+    // Row li: E_i - sum_{j in C} p_ij E_j = 1 + sum_{j notin C} p_ij E_j.
+    std::vector<std::vector<long double>> a(m,
+                                            std::vector<long double>(m, 0.0L));
+    std::vector<long double> b(m, 1.0L);
+    for (std::size_t li = 0; li < m; ++li) {
+      const std::size_t i = nodes[li];
+      a[li][li] = 1.0L;
+      for (std::size_t e = 0; e < graph.edges[i].size(); ++e) {
+        const std::size_t j = graph.edges[i][e].target;
+        const long double p = edge_probability[i][e];
+        if (scc.component[j] == c) {
+          a[li][local[j]] -= p;
+        } else {
+          assert(scc.component[j] < c);
+          b[li] += p * expected[j];
+        }
+      }
+    }
+    std::vector<long double> x;
+    if (!solve_dense(a, b, x)) return result;  // silence unreachable
+    for (std::size_t li = 0; li < m; ++li) expected[nodes[li]] = x[li];
+  }
+
+  result.computed = true;
+  result.expected_steps = static_cast<double>(expected[0]);
+  return result;
+}
+
+}  // namespace sim
+}  // namespace ppsc

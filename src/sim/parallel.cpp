@@ -1,0 +1,127 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "sim/scheduler.h"
+
+namespace ppsc {
+namespace sim {
+
+namespace {
+
+struct RunOutcome {
+  bool silent = false;
+  std::uint64_t steps = 0;
+  OutputSummary output;
+};
+
+RunOutcome run_agent_path(const PairRuleTable& table,
+                          const core::Protocol& protocol,
+                          const core::Config& initial,
+                          const RunOptions& options, std::uint64_t seed) {
+  AgentSimulator simulator(table, initial, seed);
+  const std::uint64_t interval =
+      std::max<std::uint64_t>(1, options.silence_check_interval);
+  std::uint64_t since_poll = 0;
+  RunOutcome outcome;
+  outcome.silent = simulator.silent();
+  while (!outcome.silent && simulator.steps() < options.max_steps) {
+    simulator.step();
+    if (++since_poll >= interval) {
+      since_poll = 0;
+      outcome.silent = simulator.silent();
+    }
+  }
+  outcome.steps = simulator.steps();
+  outcome.output = summarize_output(protocol, simulator.census());
+  return outcome;
+}
+
+RunOutcome run_count_path(const core::Protocol& protocol,
+                          const std::vector<core::Count>& input,
+                          const RunOptions& options, std::uint64_t seed) {
+  RunOptions per_run = options;
+  per_run.seed = seed;
+  const SilenceRun run = run_to_silence(protocol, input, per_run);
+  return {run.silent, run.steps, run.final_output};
+}
+
+}  // namespace
+
+ConvergenceStats measure_convergence_parallel(
+    const core::ConstructedProtocol& cp, const std::vector<core::Count>& input,
+    std::size_t runs, const RunOptions& options, unsigned num_threads) {
+  const bool expected = cp.predicate(input);
+  const core::Config initial = cp.protocol.initial_config(input);
+  // Compiled once, shared read-only by every worker.
+  const std::optional<PairRuleTable> table =
+      PairRuleTable::build(cp.protocol);
+
+  std::vector<RunOutcome> outcomes(runs);
+  const auto run_one = [&](std::size_t r) {
+    const std::uint64_t seed = options.seed + r;
+    outcomes[r] = table ? run_agent_path(*table, cp.protocol, initial,
+                                         options, seed)
+                        : run_count_path(cp.protocol, input, options, seed);
+  };
+
+  unsigned workers = num_threads;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(runs, 1)));
+  if (workers <= 1) {
+    for (std::size_t r = 0; r < runs; ++r) run_one(r);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        for (std::size_t r = next.fetch_add(1); r < runs;
+             r = next.fetch_add(1)) {
+          run_one(r);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  // Aggregation in run-index order: the floating-point sums below are
+  // evaluated in the same order regardless of thread count, which is
+  // what makes the sweep bit-deterministic.
+  ConvergenceStats stats;
+  stats.runs = runs;
+  double total_steps = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const RunOutcome& outcome = outcomes[r];
+    total_steps += static_cast<double>(outcome.steps);
+    stats.max_steps_observed =
+        std::max(stats.max_steps_observed, static_cast<double>(outcome.steps));
+    if (outcome.silent) {
+      ++stats.converged;
+      // unanimous() scores the empty population as correct either way,
+      // the same vacuous-truth convention verify::check_input applies.
+      if (outcome.output.unanimous(expected)) {
+        ++stats.correct;
+      }
+    }
+  }
+  if (runs > 0) stats.mean_steps = total_steps / static_cast<double>(runs);
+  return stats;
+}
+
+ConvergenceStats measure_convergence(const core::ConstructedProtocol& cp,
+                                     const std::vector<core::Count>& input,
+                                     std::size_t runs,
+                                     const RunOptions& options) {
+  return measure_convergence_parallel(cp, input, runs, options, 1);
+}
+
+}  // namespace sim
+}  // namespace ppsc

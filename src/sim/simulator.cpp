@@ -1,56 +1,12 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <utility>
-
-#include "util/rng.h"
+#include "sim/scheduler.h"
 
 namespace ppsc {
 namespace sim {
 
-namespace {
-
-using core::Count;
-
-// Sparse view of a transition for the hot loop.
-struct SparseTransition {
-  std::vector<std::pair<std::size_t, Count>> pre;
-  std::vector<std::pair<std::size_t, Count>> delta;  // post - pre, nonzero
-};
-
-std::vector<SparseTransition> sparsify(const core::Protocol& protocol) {
-  std::vector<SparseTransition> out;
-  for (const core::Transition& t : protocol.net().transitions()) {
-    SparseTransition s;
-    for (std::size_t q = 0; q < t.pre.size(); ++q) {
-      if (t.pre[q] > 0) s.pre.emplace_back(q, t.pre[q]);
-      if (t.post[q] != t.pre[q]) s.delta.emplace_back(q, t.post[q] - t.pre[q]);
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-// Number of distinct agent sets firing `t` in `config`: the product of
-// C(config[q], pre[q]). Doubles are exact far beyond any population the
-// simulator will see.
-double instance_weight(const SparseTransition& t, const core::Config& config) {
-  double weight = 1.0;
-  for (const auto& need : t.pre) {
-    const Count available = config[need.first];
-    if (available < need.second) return 0.0;
-    for (Count k = 0; k < need.second; ++k) {
-      weight *= static_cast<double>(available - k) /
-                static_cast<double>(k + 1);
-    }
-  }
-  return weight;
-}
-
-OutputSummary summarize(const core::Protocol& protocol,
-                        const core::Config& config) {
+OutputSummary summarize_output(const core::Protocol& protocol,
+                               const core::Config& config) {
   OutputSummary summary;
   for (std::size_t q = 0; q < config.size(); ++q) {
     if (config[q] == 0) continue;
@@ -63,129 +19,26 @@ OutputSummary summarize(const core::Protocol& protocol,
   return summary;
 }
 
-}  // namespace
-
 SilenceRun run_to_silence(const core::Protocol& protocol,
                           const std::vector<core::Count>& input,
                           const RunOptions& options) {
-  const std::vector<SparseTransition> transitions = sparsify(protocol);
-  util::Xoshiro256 rng(options.seed);
-
-  // Incremental weight cache: a fired transition only changes the
-  // counts on its delta places, so only transitions whose pre touches
-  // one of those places can change weight. Binomial weights of width
-  // >= 3 divide (by 3, 5, ...) and are not exactly representable, so
-  // the incremental total can drift by ~1 ulp per update -- silence is
-  // therefore detected from the exact per-transition weights (zero is
-  // exact), never from the accumulated total, and the selection loop
-  // below only ever lands on transitions with positive weight.
-  std::vector<std::vector<std::size_t>> dependents(protocol.num_states());
-  for (std::size_t i = 0; i < transitions.size(); ++i) {
-    for (const auto& need : transitions[i].pre) {
-      dependents[need.first].push_back(i);
-    }
-  }
-  std::vector<std::uint64_t> touched(transitions.size(), 0);
-  std::uint64_t stamp = 0;
-
+  CountSimulator simulator(protocol, protocol.initial_config(input),
+                           options.seed);
   SilenceRun run;
-  run.final_config = protocol.initial_config(input);
-  // Rebuilding the exact sum every so often caps the accumulated
-  // +=/-= rounding drift: between rebuilds it stays below
-  // ~interval * num_transitions * eps relative to the largest total of
-  // the window, far inside the assert tolerance below.
-  constexpr std::uint64_t kRebuildInterval = 1024;
-  std::vector<double> weights(transitions.size(), 0.0);
-  double total = 0.0;
-  std::size_t num_active = 0;
-  for (std::size_t i = 0; i < transitions.size(); ++i) {
-    weights[i] = instance_weight(transitions[i], run.final_config);
-    total += weights[i];
-    if (weights[i] > 0.0) ++num_active;
-  }
-  double peak_total = total;  // largest total since the last rebuild
   while (run.steps < options.max_steps) {
-#ifndef NDEBUG
-    {
-      // Drift scales with the largest total the incremental updates
-      // ever saw, not with the current (possibly much smaller) sum.
-      double recomputed = 0.0;
-      for (std::size_t i = 0; i < transitions.size(); ++i) {
-        recomputed += instance_weight(transitions[i], run.final_config);
-      }
-      assert(std::abs(total - recomputed) <=
-             1e-9 * std::max(1.0, peak_total));
-    }
-#endif
-    if (num_active == 0) {
+    if (!simulator.step()) {
       run.silent = true;
       break;
     }
-    double pick = rng.unit() * total;
-    // Rounding can leave pick barely non-negative after the last
-    // positive weight; never fall through to a disabled transition.
-    std::size_t chosen = 0;
-    for (std::size_t i = 0; i < transitions.size(); ++i) {
-      if (weights[i] == 0.0) continue;
-      chosen = i;
-      pick -= weights[i];
-      if (pick < 0.0) break;
-    }
-    for (const auto& change : transitions[chosen].delta) {
-      run.final_config[change.first] += change.second;
-    }
-    ++stamp;
-    for (const auto& change : transitions[chosen].delta) {
-      for (std::size_t dependent : dependents[change.first]) {
-        if (touched[dependent] == stamp) continue;
-        touched[dependent] = stamp;
-        total -= weights[dependent];
-        if (weights[dependent] > 0.0) --num_active;
-        weights[dependent] =
-            instance_weight(transitions[dependent], run.final_config);
-        total += weights[dependent];
-        if (weights[dependent] > 0.0) ++num_active;
-      }
-    }
-    peak_total = std::max(peak_total, total);
     ++run.steps;
-    if (run.steps % kRebuildInterval == 0) {
-      total = 0.0;
-      for (double w : weights) total += w;
-      peak_total = total;
-    }
   }
-  run.final_output = summarize(protocol, run.final_config);
+  run.final_config = simulator.census();
+  run.final_output = summarize_output(protocol, run.final_config);
   return run;
 }
 
-ConvergenceStats measure_convergence(const core::ConstructedProtocol& cp,
-                                     const std::vector<core::Count>& input,
-                                     std::size_t runs,
-                                     const RunOptions& options) {
-  ConvergenceStats stats;
-  stats.runs = runs;
-  const bool expected = cp.predicate(input);
-  double total_steps = 0.0;
-  for (std::size_t r = 0; r < runs; ++r) {
-    RunOptions per_run = options;
-    per_run.seed = options.seed + r;
-    const SilenceRun run = run_to_silence(cp.protocol, input, per_run);
-    total_steps += static_cast<double>(run.steps);
-    stats.max_steps =
-        std::max(stats.max_steps, static_cast<double>(run.steps));
-    if (run.silent) {
-      ++stats.converged;
-      // unanimous() scores the empty population as correct either way,
-      // the same vacuous-truth convention verify::check_input applies.
-      if (run.final_output.unanimous(expected)) {
-        ++stats.correct;
-      }
-    }
-  }
-  if (runs > 0) stats.mean_steps = total_steps / static_cast<double>(runs);
-  return stats;
-}
+// measure_convergence lives in src/sim/parallel.cpp: it is the
+// one-thread case of the parallel sweep runner.
 
 }  // namespace sim
 }  // namespace ppsc

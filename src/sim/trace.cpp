@@ -1,0 +1,64 @@
+#include "sim/trace.h"
+
+#include "sim/scheduler.h"
+
+namespace ppsc {
+namespace sim {
+
+namespace {
+
+CensusPoint make_point(const core::Protocol& protocol, std::uint64_t step,
+                       const core::Config& census) {
+  CensusPoint point;
+  point.step = step;
+  point.census = census;
+  for (std::size_t q = 0; q < census.size(); ++q) {
+    (protocol.output(q) ? point.output_one : point.output_zero) += census[q];
+  }
+  return point;
+}
+
+}  // namespace
+
+CensusTrace record_census_trace(const core::Protocol& protocol,
+                                const std::vector<core::Count>& input,
+                                std::uint64_t max_steps, std::uint64_t seed) {
+  CensusTrace trace;
+  const core::Config initial = protocol.initial_config(input);
+  const std::optional<PairRuleTable> table = PairRuleTable::build(protocol);
+
+  // Both schedulers expose the same silent()/steps()/census() surface,
+  // so one driver serves the fast path and the fallback. Records
+  // whenever the productive-step count first reaches the next power of
+  // two, plus the initial and final configurations.
+  const auto drive = [&](auto& simulator) {
+    std::uint64_t next_sample = 0;
+    const auto sample_due = [&](std::uint64_t step) {
+      if (step < next_sample) return;
+      trace.points.push_back(make_point(protocol, step, simulator.census()));
+      next_sample = step == 0 ? 1 : step * 2;
+    };
+    sample_due(0);
+    while (!simulator.silent() && simulator.steps() < max_steps) {
+      if (simulator.step()) sample_due(simulator.steps());
+    }
+    trace.converged = simulator.silent();
+    trace.total_steps = simulator.steps();
+    if (trace.points.back().step != trace.total_steps) {
+      trace.points.push_back(
+          make_point(protocol, trace.total_steps, simulator.census()));
+    }
+  };
+
+  if (table) {
+    AgentSimulator simulator(*table, initial, seed);
+    drive(simulator);
+  } else {
+    CountSimulator simulator(protocol, initial, seed);
+    drive(simulator);
+  }
+  return trace;
+}
+
+}  // namespace sim
+}  // namespace ppsc

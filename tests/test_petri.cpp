@@ -367,3 +367,38 @@ TEST(WidthReduction, NarrowNetsPassThrough) {
   EXPECT_EQ(reduction.compiled.num_transitions(), net.num_transitions());
   EXPECT_TRUE(reduction.collector_contents.empty());
 }
+
+TEST(ConfigHash, PermutedSmallMarkingsDoNotCollide) {
+  // Markings are dominated by 0/1 counts; folding them raw left most
+  // of the hash state untouched and collided permutations. With the
+  // splitmix64 mixing every 0/1 marking of a small dimension must hash
+  // distinctly (deterministic: the hash has no per-process salt).
+  const petri::ConfigHash hash;
+  std::set<std::size_t> seen;
+  const std::size_t dimension = 6;
+  for (unsigned mask = 0; mask < (1u << dimension); ++mask) {
+    Config config(dimension);
+    for (std::size_t p = 0; p < dimension; ++p) {
+      config[p] = (mask >> p) & 1u;
+    }
+    seen.insert(hash(config));
+  }
+  EXPECT_EQ(seen.size(), 1u << dimension);
+}
+
+TEST(ConfigHash, SmallCountPlacementsDoNotCollide) {
+  // All placements of a single count 1..4 across 5 places, plus the
+  // zero marking: pairwise distinct.
+  const petri::ConfigHash hash;
+  std::set<std::size_t> seen;
+  std::size_t inserted = 0;
+  seen.insert(hash(Config(5)));
+  ++inserted;
+  for (std::size_t p = 0; p < 5; ++p) {
+    for (petri::Count k = 1; k <= 4; ++k) {
+      seen.insert(hash(Config::unit(5, p, k)));
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(seen.size(), inserted);
+}

@@ -1,0 +1,262 @@
+// Scheduler architecture: pair-table compilation, agent-array vs
+// count-based scheduler equivalence, incremental silence detection,
+// and the deterministic parallel sweep runner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/constructions.h"
+#include "sim/parallel.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+namespace core = ppsc::core;
+namespace sim = ppsc::sim;
+
+namespace {
+
+// Re-derives silence from the census by scanning every table cell --
+// the ground truth the incremental enabled-pair counter must track.
+bool brute_force_silent(const sim::PairRuleTable& table,
+                        const core::Config& census) {
+  const std::size_t n = table.num_states();
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (table.rule(a, b) == nullptr) continue;
+      if (a == b ? census[a] >= 2 : census[a] >= 1 && census[b] >= 1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct DirectStats {
+  std::size_t converged = 0;
+  std::size_t correct = 0;
+  double mean_steps = 0.0;
+};
+
+// Drives `runs` seeded agent-array simulations to silence directly
+// through the class API (not the sweep runner).
+DirectStats run_agent_direct(const core::ConstructedProtocol& cp,
+                             const std::vector<core::Count>& input,
+                             std::size_t runs) {
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  DirectStats stats;
+  if (!table) {
+    ADD_FAILURE() << "protocol did not compile to a pair table";
+    return stats;
+  }
+  const bool expected = cp.predicate(input);
+  const core::Config initial = cp.protocol.initial_config(input);
+  double total = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    sim::AgentSimulator simulator(*table, initial, 1000 + r);
+    while (!simulator.silent() && simulator.steps() < 2000000) {
+      simulator.step();
+    }
+    if (simulator.silent()) {
+      ++stats.converged;
+      const sim::OutputSummary out =
+          sim::summarize_output(cp.protocol, simulator.census());
+      if (out.unanimous(expected)) ++stats.correct;
+    }
+    total += static_cast<double>(simulator.steps());
+  }
+  stats.mean_steps = total / static_cast<double>(runs);
+  return stats;
+}
+
+// Same measurement through the count scheduler.
+DirectStats run_count_direct(const core::ConstructedProtocol& cp,
+                             const std::vector<core::Count>& input,
+                             std::size_t runs) {
+  const bool expected = cp.predicate(input);
+  const core::Config initial = cp.protocol.initial_config(input);
+  DirectStats stats;
+  double total = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    sim::CountSimulator simulator(cp.protocol, initial, 1000 + r);
+    while (simulator.steps() < 2000000 && simulator.step()) {
+    }
+    if (simulator.silent()) {
+      ++stats.converged;
+      const sim::OutputSummary out =
+          sim::summarize_output(cp.protocol, simulator.census());
+      if (out.unanimous(expected)) ++stats.correct;
+    }
+    total += static_cast<double>(simulator.steps());
+  }
+  stats.mean_steps = total / static_cast<double>(runs);
+  return stats;
+}
+
+}  // namespace
+
+TEST(PairRuleTable, CompilesDeterministicPairwiseNets) {
+  const auto unary = core::unary_counting(3);
+  EXPECT_TRUE(sim::PairRuleTable::build(unary.protocol).has_value());
+  const auto belief = core::threshold_belief(4);
+  EXPECT_TRUE(sim::PairRuleTable::build(belief.protocol).has_value());
+  const auto e42 = core::example_4_2(3);
+  EXPECT_TRUE(sim::PairRuleTable::build(e42.protocol).has_value());
+}
+
+TEST(PairRuleTable, RejectsNonPairwiseNets) {
+  // Example 4.1 has a width-n transition.
+  const auto wide = core::example_4_1(3);
+  EXPECT_FALSE(sim::PairRuleTable::build(wide.protocol).has_value());
+  // The destructive unary variant has a width-1 decay rule.
+  const auto destructive = core::destructive_unary_counting(3);
+  EXPECT_FALSE(sim::PairRuleTable::build(destructive.protocol).has_value());
+}
+
+TEST(PairRuleTable, CellsMatchTheRules) {
+  // majority(): A=0, B=1, a=2, b=3; cancel A+B -> a+b,
+  // recruitA A+b -> A+a, recruitB B+a -> B+b, tie a+b -> b+b.
+  const auto maj = core::majority();
+  const auto table = sim::PairRuleTable::build(maj.protocol);
+  ASSERT_TRUE(table.has_value());
+  const sim::PairRuleTable::Outcome* cancel = table->rule(0, 1);
+  ASSERT_NE(cancel, nullptr);
+  EXPECT_EQ(cancel->first, 2u);
+  EXPECT_EQ(cancel->second, 3u);
+  // The mirrored cell swaps the outcome.
+  const sim::PairRuleTable::Outcome* mirrored = table->rule(1, 0);
+  ASSERT_NE(mirrored, nullptr);
+  EXPECT_EQ(mirrored->first, 3u);
+  EXPECT_EQ(mirrored->second, 2u);
+  // No rule for two strong A agents.
+  EXPECT_EQ(table->rule(0, 0), nullptr);
+
+  // Diagonal cell: threshold_belief's L0 + L0 -> L1 + L0.
+  const auto belief = core::threshold_belief(3);
+  const auto belief_table = sim::PairRuleTable::build(belief.protocol);
+  ASSERT_TRUE(belief_table.has_value());
+  const sim::PairRuleTable::Outcome* up = belief_table->rule(0, 0);
+  ASSERT_NE(up, nullptr);
+  // The successor multiset is {L0, L1}; which agent takes which state
+  // is arbitrary for a diagonal cell (the pair draw is symmetric).
+  EXPECT_EQ(std::min(up->first, up->second), 0u);
+  EXPECT_EQ(std::max(up->first, up->second), 1u);
+}
+
+TEST(AgentSimulator, TracksSilenceIncrementally) {
+  const auto cp = core::unary_counting(3);
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  ASSERT_TRUE(table.has_value());
+  sim::AgentSimulator simulator(*table, cp.protocol.initial_config({12}), 7);
+  const core::Count population = simulator.population();
+  ASSERT_EQ(population, 12);
+  ASSERT_FALSE(simulator.silent());
+  while (!simulator.silent()) {
+    if (!simulator.step()) continue;
+    // After every productive interaction the incremental flag must
+    // agree with a brute-force rescan, and the census must conserve
+    // the population.
+    ASSERT_EQ(simulator.silent(),
+              brute_force_silent(*table, simulator.census()));
+    ASSERT_EQ(core::Protocol::population(simulator.census()), population);
+    ASSERT_LT(simulator.steps(), 100000u);
+  }
+  EXPECT_TRUE(brute_force_silent(*table, simulator.census()));
+  EXPECT_GE(simulator.interactions(), simulator.steps());
+}
+
+TEST(AgentSimulator, TinyPopulationsAreSilent) {
+  const auto cp = core::unary_counting(2);
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  ASSERT_TRUE(table.has_value());
+  sim::AgentSimulator empty(*table, cp.protocol.initial_config({0}), 1);
+  EXPECT_TRUE(empty.silent());
+  EXPECT_FALSE(empty.step());
+  sim::AgentSimulator loner(*table, cp.protocol.initial_config({1}), 1);
+  EXPECT_TRUE(loner.silent());
+  EXPECT_FALSE(loner.step());
+  EXPECT_EQ(loner.steps(), 0u);
+}
+
+TEST(SchedulerEquivalence, UnaryCountingStatsAgree) {
+  // The productive-step chains of the two schedulers are identical in
+  // distribution, so their means over matched run counts must agree
+  // within sampling noise (generous 20% margin; the seeds are fixed,
+  // so this is deterministic).
+  const auto cp = core::unary_counting(3);
+  const DirectStats agent = run_agent_direct(cp, {24}, 48);
+  const DirectStats count = run_count_direct(cp, {24}, 48);
+  EXPECT_EQ(agent.converged, 48u);
+  EXPECT_EQ(count.converged, 48u);
+  EXPECT_EQ(agent.correct, 48u);
+  EXPECT_EQ(count.correct, 48u);
+  EXPECT_GT(agent.mean_steps, 0.0);
+  EXPECT_NEAR(agent.mean_steps, count.mean_steps, 0.2 * count.mean_steps);
+}
+
+TEST(SchedulerEquivalence, Example42StatsAgree) {
+  const auto cp = core::example_4_2(3);
+  const DirectStats agent = run_agent_direct(cp, {5}, 48);
+  const DirectStats count = run_count_direct(cp, {5}, 48);
+  EXPECT_EQ(agent.converged, 48u);
+  EXPECT_EQ(count.converged, 48u);
+  EXPECT_EQ(agent.correct, 48u);
+  EXPECT_EQ(count.correct, 48u);
+  EXPECT_NEAR(agent.mean_steps, count.mean_steps, 0.2 * count.mean_steps);
+}
+
+TEST(ParallelSweep, BitIdenticalAcrossThreadCounts) {
+  const auto cp = core::unary_counting(3);
+  const sim::ConvergenceStats one =
+      sim::measure_convergence_parallel(cp, {40}, 12, {}, 1);
+  const sim::ConvergenceStats four =
+      sim::measure_convergence_parallel(cp, {40}, 12, {}, 4);
+  EXPECT_EQ(one.runs, four.runs);
+  EXPECT_EQ(one.converged, four.converged);
+  EXPECT_EQ(one.correct, four.correct);
+  // Bit-identical, not merely close: per-run seeds and the
+  // index-ordered aggregation make thread count irrelevant.
+  EXPECT_EQ(one.mean_steps, four.mean_steps);
+  EXPECT_EQ(one.max_steps_observed, four.max_steps_observed);
+
+  const sim::ConvergenceStats serial = sim::measure_convergence(cp, {40}, 12);
+  EXPECT_EQ(serial.mean_steps, one.mean_steps);
+  EXPECT_EQ(serial.max_steps_observed, one.max_steps_observed);
+}
+
+TEST(ParallelSweep, CountFallbackMatchesRunToSilence) {
+  // The destructive variant cannot compile to a pair table, so the
+  // sweep must take the count path -- whose runs are exactly
+  // run_to_silence with seeds options.seed + r.
+  const auto cp = core::destructive_unary_counting(3);
+  ASSERT_FALSE(sim::PairRuleTable::build(cp.protocol).has_value());
+  sim::RunOptions options;
+  options.seed = 77;
+  const sim::ConvergenceStats stats =
+      sim::measure_convergence_parallel(cp, {6}, 3, options, 2);
+  EXPECT_EQ(stats.converged, 3u);
+  EXPECT_EQ(stats.correct, 3u);
+  double total = 0.0;
+  double observed_max = 0.0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    sim::RunOptions per_run = options;
+    per_run.seed = options.seed + r;
+    const sim::SilenceRun run =
+        sim::run_to_silence(cp.protocol, {6}, per_run);
+    EXPECT_TRUE(run.silent);
+    total += static_cast<double>(run.steps);
+    observed_max =
+        std::max(observed_max, static_cast<double>(run.steps));
+  }
+  EXPECT_EQ(stats.mean_steps, total / 3.0);
+  EXPECT_EQ(stats.max_steps_observed, observed_max);
+}
+
+TEST(DestructiveUnary, ComputesTheSamePredicate) {
+  const auto cp = core::destructive_unary_counting(3);
+  const sim::ConvergenceStats above = sim::measure_convergence(cp, {5}, 3);
+  EXPECT_EQ(above.correct, 3u);
+  const sim::ConvergenceStats below = sim::measure_convergence(cp, {2}, 3);
+  EXPECT_EQ(below.correct, 3u);
+}

@@ -7,6 +7,7 @@
 #include "core/combinators.h"
 #include "core/constructions.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "verify/stable.h"
@@ -58,7 +59,7 @@ TEST(MeasureConvergence, MajorityBothSides) {
   EXPECT_EQ(heavy_a.converged, 5u);
   EXPECT_EQ(heavy_a.correct, 5u);
   EXPECT_GT(heavy_a.mean_steps, 0.0);
-  EXPECT_GE(heavy_a.max_steps, heavy_a.mean_steps);
+  EXPECT_GE(heavy_a.max_steps_observed, heavy_a.mean_steps);
 
   const auto heavy_b = sim::measure_convergence(maj, {3, 12}, 5);
   EXPECT_EQ(heavy_b.correct, 5u);
@@ -71,6 +72,22 @@ TEST(MeasureConvergence, CountingFamiliesAtThreshold) {
     const auto below = sim::measure_convergence(family, {3}, 3);
     EXPECT_EQ(below.correct, 3u) << family.family;
   }
+}
+
+TEST(MeasureConvergence, PinnedStatsForFixedSeedOnExample41) {
+  // Regression pin for the scheduler-architecture refactor: the
+  // count-scheduler path must keep producing these exact statistics
+  // for this seed. Example 4.1 is width n, so every run takes the
+  // count path regardless of the fast-path dispatch.
+  const auto cp = core::example_4_1(3);
+  sim::RunOptions options;
+  options.seed = 2024;
+  const auto stats = sim::measure_convergence(cp, {7}, 4, options);
+  EXPECT_EQ(stats.runs, 4u);
+  EXPECT_EQ(stats.converged, 4u);
+  EXPECT_EQ(stats.correct, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_steps, 3.75);
+  EXPECT_DOUBLE_EQ(stats.max_steps_observed, 4.0);
 }
 
 TEST(MeasureConvergence, EmptyPopulationIsVacuouslyCorrect) {
@@ -147,6 +164,43 @@ TEST(RunToSilence, IncrementalWeightsMatchBruteForce) {
   EXPECT_EQ(a.final_config, b.final_config);
   EXPECT_TRUE(a.silent);
   EXPECT_TRUE(a.final_output.unanimous(true));  // 5 >= 3
+}
+
+TEST(CensusTrace, GeometricScheduleAndConservation) {
+  const auto cp = core::unary_counting(4);
+  const auto trace =
+      sim::record_census_trace(cp.protocol, {32}, 1000000, /*seed=*/11);
+  EXPECT_TRUE(trace.converged);
+  ASSERT_FALSE(trace.points.empty());
+  EXPECT_EQ(trace.points.front().step, 0u);
+  EXPECT_EQ(trace.points.back().step, trace.total_steps);
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (const auto& point : trace.points) {
+    if (!first) {
+      EXPECT_GT(point.step, previous);
+    }
+    previous = point.step;
+    first = false;
+    // The output census partitions the (conserved) population.
+    EXPECT_EQ(point.output_zero + point.output_one + point.output_star, 32);
+    EXPECT_EQ(core::Protocol::population(point.census), 32);
+    EXPECT_EQ(point.output_star, 0);
+  }
+  // 32 >= 4: an accepting run ends in unanimous 1-consensus.
+  EXPECT_EQ(trace.points.back().output_zero, 0);
+  EXPECT_EQ(trace.points.back().output_one, 32);
+}
+
+TEST(CensusTrace, CountSchedulerFallback) {
+  // Width-n nets cannot compile to a pair table; the trace must fall
+  // back to the count scheduler and still converge.
+  const auto cp = core::example_4_1(3);
+  const auto trace =
+      sim::record_census_trace(cp.protocol, {5}, 1000000, /*seed=*/3);
+  EXPECT_TRUE(trace.converged);
+  EXPECT_EQ(trace.points.back().output_one, 5);
+  EXPECT_EQ(trace.points.back().output_zero, 0);
 }
 
 TEST(TablePrinter, AlignsAndPads) {
