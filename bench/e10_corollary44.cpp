@@ -10,9 +10,11 @@
 
 #include "bounds/ackermann.h"
 #include "bounds/formulas.h"
+#include "report.h"
 #include "util/table.h"
 
 int main() {
+  ppsc::bench::Report report("e10_corollary44");
   namespace bounds = ppsc::bounds;
 
   std::printf(
@@ -30,6 +32,7 @@ int main() {
                   Row{"10^100", 332.2}, Row{"2^10^4", 1e4}, Row{"2^10^6", 1e6},
                   Row{"2^10^9", 1e9}, Row{"2^10^12", 1e12},
                   Row{"2^10^15", 1e15}}) {
+    report.add_items(1);
     table.add_row(
         {row.label, ppsc::util::format_double(row.log2_n, 4),
          std::to_string(bounds::inverse_ackermann_log2(row.log2_n)),

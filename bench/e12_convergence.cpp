@@ -9,10 +9,12 @@
 #include <cstdio>
 
 #include "core/constructions.h"
+#include "report.h"
 #include "sim/simulator.h"
 #include "util/table.h"
 
 int main() {
+  ppsc::bench::Report report("e12_convergence");
   using ppsc::core::Count;
 
   std::printf("E12: interactions to silent consensus (mean over runs)\n\n");
@@ -37,6 +39,7 @@ int main() {
   for (auto& job : jobs) {
     auto stats =
         ppsc::sim::measure_convergence(job.constructed, {job.population}, kRuns);
+    report.add_items(static_cast<double>(stats.runs));
     table.add_row({job.constructed.family, job.n_label,
                    std::to_string(job.population), std::to_string(stats.runs),
                    std::to_string(stats.correct),
@@ -63,6 +66,7 @@ int main() {
                       Side{"majority tie", population / 2, population / 2}}) {
       auto stats =
           ppsc::sim::measure_convergence(majority, {side.a, side.b}, 5);
+      report.add_items(static_cast<double>(stats.runs));
       table.add_row({side.label, "-", std::to_string(population),
                      std::to_string(stats.runs), std::to_string(stats.correct),
                      ppsc::util::format_double(stats.mean_steps, 5),

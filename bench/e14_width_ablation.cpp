@@ -12,6 +12,7 @@
 #include "core/constructions.h"
 #include "petri/reachability.h"
 #include "petri/width_reduction.h"
+#include "report.h"
 #include "util/table.h"
 
 namespace {
@@ -42,6 +43,7 @@ bool equivalent(const PetriNet& net, const ppsc::petri::WidthReduction& red,
 }  // namespace
 
 int main() {
+  ppsc::bench::Report report("e14_width_ablation");
   std::printf("E14: compiling width-n counting to width 2\n\n");
   ppsc::util::TablePrinter table({"n", "places", "transitions", "width",
                                   "->", "places'", "transitions'", "width'",
@@ -51,6 +53,7 @@ int main() {
     auto c = ppsc::core::example_4_1(n);
     const PetriNet& net = c.protocol.net();
     auto reduction = ppsc::petri::widen_to_width2(net);
+    report.add_items(1);
 
     Config root(2);
     root[0] = n + 1;  // above threshold: the interesting dynamics

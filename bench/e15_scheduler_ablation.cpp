@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/constructions.h"
+#include "report.h"
 #include "sim/parallel.h"
 #include "sim/scheduler.h"
 #include "util/table.h"
@@ -52,6 +53,7 @@ double steps_per_second_count(const ppsc::core::ConstructedProtocol& c,
 }  // namespace
 
 int main() {
+  ppsc::bench::Report report("e15_scheduler_ablation");
   std::printf("E15 part 1: convergence agreement between schedulers\n\n");
   // Use a protocol the count scheduler must also run: compare mean steps to
   // silence over matched run counts. The count scheduler skips null
@@ -64,12 +66,14 @@ int main() {
   for (ppsc::core::Count population : {32, 64}) {
     auto c = ppsc::core::unary_counting(6);
     auto fast = ppsc::sim::measure_convergence(c, {population}, 8);
+    report.add_items(8);
 
     // Force the count-based path through a protocol wrapper: the
     // CountSimulator is exercised via a destructive variant with identical
     // predicate semantics.
     auto destructive = ppsc::core::destructive_unary_counting(6);
     auto slow = ppsc::sim::measure_convergence(destructive, {population}, 8);
+    report.add_items(8);
 
     agreement.add_row(
         {"unary(6) / destructive(6)", std::to_string(population),
@@ -98,6 +102,7 @@ int main() {
 
   std::printf("\nE15 part 3: parallel sweep determinism\n\n");
   auto serial = ppsc::sim::measure_convergence(c, {500}, 8);
+  report.add_items(16);
   auto parallel = ppsc::sim::measure_convergence_parallel(c, {500}, 8, {}, 4);
   std::printf("serial mean %.1f == parallel mean %.1f: %s\n",
               serial.mean_steps, parallel.mean_steps,

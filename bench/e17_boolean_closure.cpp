@@ -9,11 +9,13 @@
 #include <cstdio>
 
 #include "core/combinators.h"
+#include "report.h"
 #include "sim/simulator.h"
 #include "util/table.h"
 #include "verify/stable.h"
 
 int main() {
+  ppsc::bench::Report report("e17_boolean_closure");
   using ppsc::core::Count;
 
   std::printf("E17: composite predicates via negation and product\n\n");

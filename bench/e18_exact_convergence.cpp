@@ -8,11 +8,13 @@
 #include <cstdio>
 
 #include "core/constructions.h"
+#include "report.h"
 #include "sim/expected_time.h"
 #include "sim/parallel.h"
 #include "util/table.h"
 
 int main() {
+  ppsc::bench::Report report("e18_exact_convergence");
   using ppsc::core::Count;
 
   std::printf("E18: exact (Markov) vs sampled expected interactions\n\n");
@@ -39,6 +41,7 @@ int main() {
     options.silence_check_interval = 1;
     auto sampled = ppsc::sim::measure_convergence_parallel(
         job.constructed, {job.population}, 200, options);
+    report.add_items(201);
 
     std::string exact_text = exact.computed
                                  ? ppsc::util::format_double(
@@ -66,6 +69,7 @@ int main() {
     options.silence_check_interval = 1;
     auto sampled =
         ppsc::sim::measure_convergence_parallel(c, {3, 2}, 200, options);
+    report.add_items(201);
     table.add_row({"majority {3,2}", "5",
                    std::to_string(exact.reachable_configs),
                    ppsc::util::format_double(exact.expected_steps, 6),

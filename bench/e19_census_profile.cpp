@@ -5,16 +5,21 @@
 // protocols show a long merge phase followed by a fast epidemic spread of
 // F; Example 4.2 converts almost instantly once the leaders are exhausted.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "core/constructions.h"
+#include "petri/petri_net.h"
+#include "petri/reachability.h"
+#include "report.h"
 #include "sim/trace.h"
 #include "util/table.h"
 
 namespace {
 
-void print_profile(const char* name, const ppsc::core::ConstructedProtocol& c,
-                   ppsc::core::Count population) {
+std::uint64_t print_profile(const char* name,
+                            const ppsc::core::ConstructedProtocol& c,
+                            ppsc::core::Count population) {
   auto trace = ppsc::sim::record_census_trace(c.protocol, {population},
                                               5'000'000, /*seed=*/5);
   std::printf("%s, population %lld (converged=%d, %llu steps):\n", name,
@@ -37,16 +42,57 @@ void print_profile(const char* name, const ppsc::core::ConstructedProtocol& c,
   }
   table.print();
   std::printf("\n");
+  return trace.total_steps;
+}
+
+// The engine-level view of the same families: petri::explore's per-run
+// ExploreStats show what the BFS paid to intern the state space (the
+// census bench doubles as the explore profiling harness).
+void print_state_space_census() {
+  std::printf("State-space census (petri::explore stats, population 6):\n\n");
+  ppsc::util::TablePrinter table({"family", "configs", "edges",
+                                  "frontier peak", "truncated"});
+  struct Family {
+    const char* name;
+    ppsc::core::ConstructedProtocol constructed;
+  };
+  const ppsc::core::Count population = 6;
+  for (Family family : {Family{"unary(8)", ppsc::core::unary_counting(8)},
+                        Family{"binary(8)", ppsc::core::binary_counting(8)},
+                        Family{"threshold_belief(8)",
+                               ppsc::core::threshold_belief(8)},
+                        Family{"example_4_2(8)",
+                               ppsc::core::example_4_2(8)}}) {
+    ppsc::petri::ExploreLimits limits;
+    limits.max_nodes = 200000;
+    const auto graph = ppsc::petri::explore(
+        ppsc::petri::PetriNet(family.constructed.protocol.net()),
+        {ppsc::petri::Config(
+            family.constructed.protocol.initial_config({population}))},
+        limits);
+    table.add_row({family.name, std::to_string(graph.stats.configs),
+                   std::to_string(graph.stats.edges),
+                   std::to_string(graph.stats.frontier_peak),
+                   graph.stats.truncated ? "yes" : "no"});
+  }
+  table.print();
+  std::printf("\n");
 }
 
 }  // namespace
 
 int main() {
+  ppsc::bench::Report report("e19_census_profile");
   std::printf("E19: output census trajectories (accepting runs)\n\n");
-  print_profile("unary(8)", ppsc::core::unary_counting(8), 256);
-  print_profile("binary(8)", ppsc::core::binary_counting(8), 256);
-  print_profile("threshold_belief(8)", ppsc::core::threshold_belief(8), 256);
-  print_profile("example_4_2(8)", ppsc::core::example_4_2(8), 256);
+  std::uint64_t steps = 0;
+  steps += print_profile("unary(8)", ppsc::core::unary_counting(8), 256);
+  steps += print_profile("binary(8)", ppsc::core::binary_counting(8), 256);
+  steps +=
+      print_profile("threshold_belief(8)", ppsc::core::threshold_belief(8),
+                    256);
+  steps += print_profile("example_4_2(8)", ppsc::core::example_4_2(8), 256);
+  report.add_items(static_cast<double>(steps));
+  print_state_space_census();
   std::printf(
       "All profiles end at 1-fraction = 1.0; the knee where the fraction\n"
       "jumps marks the accept event, after which conversion is an epidemic\n"

@@ -13,10 +13,12 @@
 
 #include "bounds/formulas.h"
 #include "core/constructions.h"
+#include "report.h"
 #include "util/table.h"
 #include "verify/stable.h"
 
 int main() {
+  ppsc::bench::Report report("e1_landscape");
   using ppsc::core::Count;
   namespace bounds = ppsc::bounds;
 
@@ -32,6 +34,7 @@ int main() {
     const double log2_n = std::log2(static_cast<double>(n));
     auto families = ppsc::core::counting_families(n);
     for (auto& family : families) {
+      report.add_items(1);
       // Exhaustive verification is feasible for small n only; report it
       // where run, "-" where skipped.
       std::string verified = "-";

@@ -7,10 +7,12 @@
 #include <cstdio>
 
 #include "core/constructions.h"
+#include "report.h"
 #include "util/table.h"
 #include "verify/stable.h"
 
 int main() {
+  ppsc::bench::Report report("e2_example41");
   using ppsc::core::Count;
 
   std::printf("E2: Example 4.1 (2 states, width n, leaderless)\n\n");
@@ -21,6 +23,7 @@ int main() {
   for (Count n = 1; n <= 7; ++n) {
     auto c = ppsc::core::example_4_1(n);
     auto result = ppsc::verify::check_up_to(c.protocol, c.predicate, n + 4);
+    report.add_items(static_cast<double>(result.verdicts.size()));
     std::size_t reachable = 0;
     for (const auto& verdict : result.verdicts) {
       reachable += verdict.reachable_configs;

@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "core/constructions.h"
+#include "report.h"
 #include "sim/simulator.h"
 #include "util/table.h"
 #include "verify/stable.h"
 
 int main() {
+  ppsc::bench::Report report("e3_example42");
   using ppsc::core::Count;
 
   std::printf("E3: Example 4.2 (6 states, width 2, n leaders)\n\n");
@@ -22,6 +24,7 @@ int main() {
   for (Count n = 1; n <= 4; ++n) {
     auto c = ppsc::core::example_4_2(n);
     auto result = ppsc::verify::check_up_to(c.protocol, c.predicate, n + 2);
+    report.add_items(static_cast<double>(result.verdicts.size()));
     std::size_t max_reachable = 0;
     for (const auto& verdict : result.verdicts) {
       max_reachable = std::max(max_reachable, verdict.reachable_configs);
@@ -42,6 +45,7 @@ int main() {
       ppsc::sim::RunOptions options;
       options.max_steps = 2'000'000;
       auto stats = ppsc::sim::measure_convergence(c, {x}, 5, options);
+      report.add_items(5);
       sim.add_row({std::to_string(n), std::to_string(x),
                    c.predicate({x}) ? "1" : "0",
                    std::to_string(stats.converged) + "/5",

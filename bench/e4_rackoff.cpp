@@ -12,10 +12,12 @@
 
 #include "bounds/formulas.h"
 #include "petri/coverability.h"
+#include "report.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 int main() {
+  ppsc::bench::Report report("e4_rackoff");
   using ppsc::petri::Config;
   using ppsc::petri::Count;
   using ppsc::petri::PetriNet;
@@ -31,6 +33,7 @@ int main() {
     Count worst_norm_rho = 1;
     Count worst_norm_t = 1;
     const int kNets = 60;
+    report.add_items(kNets);
     for (int i = 0; i < kNets; ++i) {
       PetriNet net(d);
       const int transitions = 2 + static_cast<int>(rng.below(3));

@@ -11,9 +11,11 @@
 #include "bounds/formulas.h"
 #include "core/constructions.h"
 #include "petri/bottom.h"
+#include "report.h"
 #include "util/table.h"
 
 int main() {
+  ppsc::bench::Report report("e6_bottom");
   using ppsc::petri::Config;
   using ppsc::petri::PetriNet;
 
@@ -63,6 +65,7 @@ int main() {
   }
 
   for (auto& test_case : cases) {
+    report.add_items(1);
     ppsc::petri::ExploreLimits limits;
     limits.max_nodes = 200000;
     auto witness =

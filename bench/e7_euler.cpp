@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "petri/control_net.h"
+#include "report.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -37,6 +38,7 @@ ControlStateNet random_control_net(std::size_t controls, std::size_t chords,
 }  // namespace
 
 int main() {
+  ppsc::bench::Report report("e7_euler");
   std::printf("E7: total cycle construction vs |E|*|S| (Lemma 7.2)\n\n");
   ppsc::util::TablePrinter table({"|S|", "|E|", "trials", "max |theta|",
                                   "bound |E||S|", "total", "holds"});
@@ -50,6 +52,7 @@ int main() {
       bool all_total = true;
       bool all_hold = true;
       const int kTrials = 25;
+      report.add_items(kTrials);
       for (int trial = 0; trial < kTrials; ++trial) {
         auto cnet = random_control_net(controls, chords, rng);
         edges = cnet.num_edges();

@@ -19,6 +19,7 @@
 #include "petri/bottom.h"
 #include "petri/control_net.h"
 #include "petri/euler.h"
+#include "report.h"
 #include "solver/multicycle.h"
 #include "util/table.h"
 
@@ -106,6 +107,7 @@ PipelineRow run_pipeline(const std::string& name, const PetriNet& net,
 }  // namespace
 
 int main() {
+  ppsc::bench::Report report("e9_theorem43");
   std::printf("E9: Theorem 4.3 proof pipeline, stage by stage\n\n");
 
   ppsc::util::TablePrinter table({"instance", "|component|", "|E|",
@@ -121,6 +123,7 @@ int main() {
     auto row = run_pipeline("example42 n=" + std::to_string(n),
                             PetriNet(c.protocol.net()).restrict(mask),
                             Config(c.protocol.leaders()).restrict(mask));
+    report.add_items(1);
     table.add_row({row.name, row.component, row.edges, row.total_cycle,
                    row.replacement, row.verdict});
   }
@@ -132,6 +135,7 @@ int main() {
     net.add(Config{0, 1, 0}, Config{1, 0, 0});
     net.add(Config{1, 0, 0}, Config{1, 0, 1});
     auto row = run_pipeline("toggle+pump", net, Config{1, 0, 0});
+    report.add_items(1);
     table.add_row({row.name, row.component, row.edges, row.total_cycle,
                    row.replacement, row.verdict});
   }
@@ -143,6 +147,7 @@ int main() {
     net.add(Config{0, 0, 1, 0}, Config{1, 0, 0, 0});
     net.add(Config{0, 1, 0, 0}, Config{0, 1, 0, 1});
     auto row = run_pipeline("ring3+pump", net, Config{1, 0, 0, 0});
+    report.add_items(1);
     table.add_row({row.name, row.component, row.edges, row.total_cycle,
                    row.replacement, row.verdict});
   }
@@ -153,6 +158,7 @@ int main() {
   ppsc::util::TablePrinter bound_table(
       {"protocol", "d", "width", "leaders", "log2 bound", "log2 n", "holds"});
   for (ppsc::core::Count n : {4, 16, 256, 65536}) {
+    report.add_items(1);
     auto c = ppsc::core::example_4_2(n);
     double log2_bound = ppsc::bounds::log2_theorem43_bound(
         static_cast<std::uint64_t>(c.protocol.width()),

@@ -1,0 +1,130 @@
+// Uniform machine-readable reporting for the hand-rolled (non
+// google-benchmark) bench drivers.
+//
+// Usage: construct one Report at the top of main. When the
+// PPSC_BENCH_JSON environment variable names a path, the constructor
+// enables the obs metric registry and the destructor writes
+//
+//   {"bench": <name>, "git_rev": <rev>, "wall_ms": <main wall time>,
+//    "items_per_sec": <items/s or 0>, "counters": {...},
+//    "histograms": {...}}
+//
+// to that path -- and nothing anywhere else. stdout belongs to the
+// bench tables alone (the e2/e3/e17 golden transcripts diff stdout
+// byte-for-byte, with PPSC_BENCH_JSON set), so this header never
+// prints except to stderr on a write failure. Without PPSC_BENCH_JSON
+// the Report is inert: no registry toggle, no file, no timing output.
+//
+// `counters` holds every registry counter (sorted keys) plus a
+// flattened `<histogram>.count/.sum/.max` triple per histogram, so
+// downstream tooling can treat the report as one flat numeric map;
+// full bucket detail stays available under `histograms`. The schema
+// keys bench/git_rev/wall_ms/items_per_sec/counters are validated by
+// scripts/bench_report.sh and pinned by tests/test_obs.cpp.
+//
+// e11/e13 are google-benchmark binaries and do not use this header;
+// their JSON comes from --benchmark_out=json (same script, same
+// BENCH_<name>.json naming).
+
+#ifndef PPSC_BENCH_REPORT_H
+#define PPSC_BENCH_REPORT_H
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+#ifndef PPSC_GIT_REV
+#define PPSC_GIT_REV "unknown"
+#endif
+
+namespace ppsc {
+namespace bench {
+
+class Report {
+ public:
+  explicit Report(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {
+    const char* path = std::getenv("PPSC_BENCH_JSON");
+    if (path != nullptr && *path != '\0') {
+      path_ = path;
+      obs::MetricRegistry::global().set_enabled(true);
+    }
+  }
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  // Work items this bench processed (rows, runs, inputs, steps --
+  // whatever the bench's natural unit is); feeds items_per_sec.
+  void add_items(double items) { items_ += items; }
+
+  ~Report() {
+    if (path_.empty()) return;
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    const double wall_ms = elapsed.count();
+    const double items_per_sec =
+        wall_ms > 0.0 ? items_ / (wall_ms / 1000.0) : 0.0;
+    const obs::MetricSnapshot snapshot =
+        obs::MetricRegistry::global().snapshot();
+
+    obs::JsonWriter json;
+    json.begin_object();
+    json.key("bench").value(name_);
+    json.key("git_rev").value(PPSC_GIT_REV);
+    json.key("wall_ms").value(wall_ms);
+    json.key("items_per_sec").value(items_per_sec);
+    json.key("counters").begin_object();
+    for (const auto& entry : snapshot.counters) {
+      json.key(entry.first).value(entry.second);
+    }
+    for (const auto& entry : snapshot.histograms) {
+      json.key(entry.first + ".count").value(entry.second.count);
+      json.key(entry.first + ".sum").value(entry.second.sum);
+      json.key(entry.first + ".max").value(entry.second.max);
+    }
+    json.end_object();
+    json.key("histograms").begin_object();
+    for (const auto& entry : snapshot.histograms) {
+      const obs::Histogram& h = entry.second;
+      json.key(entry.first).begin_object();
+      json.key("count").value(h.count);
+      json.key("sum").value(h.sum);
+      json.key("max").value(h.max);
+      json.key("buckets").begin_array();
+      for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+        if (h.buckets[b] == 0) continue;
+        const std::uint64_t lower = b == 0 ? 0 : (1ull << (b - 1));
+        json.begin_array().value(lower).value(h.buckets[b]).end_array();
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench::Report: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fputs(json.str().c_str(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  double items_ = 0.0;
+};
+
+}  // namespace bench
+}  // namespace ppsc
+
+#endif  // PPSC_BENCH_REPORT_H

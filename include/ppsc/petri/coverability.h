@@ -22,19 +22,39 @@
 #define PPSC_PETRI_COVERABILITY_H
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "petri/petri_net.h"
+#include "petri/reachability.h"
 
 namespace ppsc {
 namespace petri {
 
+// Per-call statistics of the backward fixpoint, the quantities behind
+// its scaling behaviour: the dominance scan over the basis is a linear
+// pass per candidate predecessor, so `comparisons` (one per covers()
+// call) grows roughly with `predecessors` * `basis_peak` -- the e13
+// wall past ~30 places, made visible.
+struct BackwardBasisStats {
+  std::size_t basis_final = 0;        // minimal basis size at fixpoint
+  std::size_t basis_peak = 0;         // largest intermediate basis
+  std::uint64_t basis_size_sum = 0;   // basis size summed per iteration
+  std::uint64_t iterations = 0;       // work-queue items processed
+  std::uint64_t predecessors = 0;     // candidate predecessors generated
+  std::uint64_t pruned_dominated = 0; // candidates dropped as dominated
+  std::uint64_t evictions = 0;        // basis elements a candidate evicted
+  std::uint64_t comparisons = 0;      // covers() calls in dominance scans
+};
+
 // Minimal basis of the set of markings from which `target` is coverable.
 // `max_basis` is a safety valve (std::runtime_error beyond it); the
-// algorithm itself always terminates.
+// algorithm itself always terminates. `stats`, when non-null, receives
+// the per-call fixpoint statistics.
 std::vector<Config> backward_basis(const PetriNet& net, const Config& target,
-                                   std::size_t max_basis = 1u << 22);
+                                   std::size_t max_basis = 1u << 22,
+                                   BackwardBasisStats* stats = nullptr);
 
 // True iff some marking >= target is reachable from `source`.
 bool coverable(const PetriNet& net, const Config& source, const Config& target,
@@ -45,6 +65,9 @@ struct CoveringWordResult {
   std::optional<std::vector<std::size_t>> word;
   std::size_t explored = 0;
   bool truncated = false;
+  // Statistics of the underlying forward exploration (explored and
+  // truncated above are redundant views kept for compatibility).
+  ExploreStats stats;
 };
 
 CoveringWordResult shortest_covering_word(const PetriNet& net,

@@ -11,6 +11,7 @@
 #define PPSC_PETRI_REACHABILITY_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -31,6 +32,23 @@ struct ReachEdge {
   std::size_t transition;
 };
 
+// Per-call exploration statistics, filled by every explore() run and
+// carried on the result so consumers (e13/e19, the obs registry, the
+// verifier) stop re-deriving them ad hoc. `probes` counts hash-table
+// lookups (one per enabled transition firing plus one per root);
+// `collisions` counts how many already-interned configurations shared
+// a hash bucket with a newly inserted one, and is only collected while
+// the obs registry is runtime-enabled (the bucket scan re-hashes the
+// config, which the hot path should not pay for by default).
+struct ExploreStats {
+  std::size_t configs = 0;        // distinct configurations interned
+  std::size_t edges = 0;          // reachability edges recorded
+  std::size_t frontier_peak = 0;  // BFS frontier high-water mark
+  std::uint64_t probes = 0;       // hash-map lookups
+  std::uint64_t collisions = 0;   // bucket neighbours at insertion
+  bool truncated = false;         // == ReachabilityGraph::truncated
+};
+
 struct ReachabilityGraph {
   static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
 
@@ -44,6 +62,7 @@ struct ReachabilityGraph {
   // node in BFS discovery order (so word_to(*stopped) is a shortest
   // witness word). Exploration ceases at that point.
   std::optional<std::size_t> stopped;
+  ExploreStats stats;
 
   // Index of `config` among nodes, or std::nullopt.
   std::optional<std::size_t> find(const Config& config) const;

@@ -24,6 +24,7 @@
 #define PPSC_SIM_EXPECTED_TIME_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/protocol.h"
@@ -40,6 +41,14 @@ struct ExpectedTimeResult {
   bool truncated = false;
   // Distinct configurations discovered (exact when not truncated).
   std::size_t reachable_configs = 0;
+  // SCC structure of the chain: how many components the reverse-
+  // topological sweep visited, and the largest dense block the
+  // Gaussian elimination had to solve (1 for pure DAG chains).
+  std::size_t sccs = 0;
+  std::size_t largest_scc = 0;
+  // Pivot rows eliminated across all per-SCC solves -- the cubic-cost
+  // driver of the exact method.
+  std::uint64_t pivots = 0;
   // E[productive interactions to silence] from the initial
   // configuration; 0 when not computed.
   double expected_steps = 0.0;

@@ -85,6 +85,14 @@ class PairRuleTable {
 // (no unordered agent pair enables a rule) is tracked incrementally:
 // enabled_pairs() maintains the number of enabled *ordered* agent pairs
 // under count updates, so silent() is O(1) at any time.
+//
+// Observability: when the obs registry is runtime-enabled at
+// construction, step() takes an instrumented path that additionally
+// accumulates the silence-bookkeeping work (partner-table entries
+// walked per count update) into scan_work(). The two paths are
+// compiled from one template, so the uninstrumented path carries zero
+// metric code -- it is the same machine code a -DPPSC_OBS=OFF build
+// produces, which is what the e11 overhead guard measures against.
 class AgentSimulator {
  public:
   // The table must outlive the simulator. `initial` is a configuration
@@ -95,7 +103,7 @@ class AgentSimulator {
   // Draws one ordered pair of distinct agents uniformly at random and
   // fires its rule if one exists. Returns true iff the interaction was
   // productive. Populations below 2 only ever draw null interactions.
-  bool step();
+  bool step() { return obs_ ? step_impl<true>() : step_impl<false>(); }
 
   bool silent() const { return enabled_pairs_ == 0; }
   // Productive interactions so far (the unit every convergence
@@ -103,6 +111,13 @@ class AgentSimulator {
   std::uint64_t steps() const { return steps_; }
   // Raw draws so far, null interactions included.
   std::uint64_t interactions() const { return interactions_; }
+  // Partner-table entries walked by the incremental silence
+  // bookkeeping; 0 unless the obs registry was enabled at construction.
+  std::uint64_t scan_work() const { return scan_work_; }
+
+  // Adds this run's totals to the global registry (sim.agent.*); call
+  // once, after the run. No-op while the registry is disabled.
+  void publish_metrics() const;
 
   // Current per-state agent counts.
   const core::Config& census() const { return counts_; }
@@ -114,9 +129,12 @@ class AgentSimulator {
   long long enabled_pairs() const { return enabled_pairs_; }
 
  private:
+  template <bool kObs>
+  bool step_impl();
   // Sum of enabled ordered pair counts over cells involving `state`.
   long long pair_contribution(std::size_t state) const;
   // Applies one count delta while keeping enabled_pairs_ exact.
+  template <bool kObs>
   void change_count(std::size_t state, core::Count delta);
 
   const PairRuleTable* table_;
@@ -126,6 +144,8 @@ class AgentSimulator {
   long long enabled_pairs_ = 0;
   std::uint64_t steps_ = 0;
   std::uint64_t interactions_ = 0;
+  std::uint64_t scan_work_ = 0;
+  bool obs_ = false;
 };
 
 // Instantiation-weighted transition sampler with the incremental
@@ -144,6 +164,14 @@ class CountSimulator {
   bool silent() const { return num_active_ == 0; }
   std::uint64_t steps() const { return steps_; }
   const core::Config& census() const { return config_; }
+  // Incremental weight-cache recomputations performed so far. Counted
+  // unconditionally: one increment next to a binomial recompute is far
+  // below measurement noise on this scheduler.
+  std::uint64_t weight_updates() const { return weight_updates_; }
+
+  // Adds this run's totals to the global registry (sim.count.*); call
+  // once, after the run. No-op while the registry is disabled.
+  void publish_metrics() const;
 
  private:
   struct SparseTransition {
@@ -165,6 +193,7 @@ class CountSimulator {
   double peak_total_ = 0.0;  // largest total since the last rebuild
   std::size_t num_active_ = 0;
   std::uint64_t steps_ = 0;
+  std::uint64_t weight_updates_ = 0;
 };
 
 // The name the scheduler-architecture docs use for the count-based

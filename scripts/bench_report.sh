@@ -1,0 +1,122 @@
+#!/usr/bin/env sh
+# Runs every buildable bench with machine-readable reporting and
+# validates the collected BENCH_<name>.json files.
+#
+#   scripts/bench_report.sh [build-dir] [output-dir]
+#
+# build-dir defaults to ./build, output-dir to the repo root (the
+# BENCH_*.json files live next to README.md so a checkout carries the
+# latest measured numbers). Hand-rolled benches emit through
+# bench/report.h (PPSC_BENCH_JSON env); google-benchmark binaries (e11,
+# e13) emit through --benchmark_out=json. Every file is then validated
+# with python3: parseable JSON plus the schema keys the downstream
+# tooling relies on. Any bench failure, missing file, or schema
+# violation exits nonzero -- CI runs this as a blocking step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir '$BUILD_DIR' not found (configure+build first)" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+# The two bench families emit different schemas; validate each
+# accordingly. google-benchmark's schema is pinned upstream, so only
+# its presence markers are checked.
+validate() {
+  # $1 = json path, $2 = "report" | "gbench"
+  python3 - "$1" "$2" <<'EOF'
+import json
+import sys
+
+path, kind = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    data = json.load(f)
+if kind == "report":
+    required = ["bench", "git_rev", "wall_ms", "items_per_sec", "counters"]
+else:
+    required = ["context", "benchmarks"]
+missing = [key for key in required if key not in data]
+if missing:
+    sys.exit(f"{path}: missing schema keys {missing}")
+EOF
+}
+
+status=0
+ran=0
+
+run_report_bench() {
+  name="$1"
+  bin="$BUILD_DIR/$name"
+  json="$OUT_DIR/BENCH_$name.json"
+  if [ ! -x "$bin" ]; then
+    echo "skip $name (not built)"
+    return 0
+  fi
+  echo "run  $name"
+  if ! PPSC_BENCH_JSON="$json" "$bin" > /dev/null; then
+    echo "FAIL $name: bench exited nonzero" >&2
+    status=1
+    return 0
+  fi
+  if [ ! -s "$json" ]; then
+    echo "FAIL $name: no report at $json" >&2
+    status=1
+    return 0
+  fi
+  if ! validate "$json" report; then
+    status=1
+    return 0
+  fi
+  ran=$((ran + 1))
+}
+
+run_gbench_bench() {
+  name="$1"
+  bin="$BUILD_DIR/$name"
+  json="$OUT_DIR/BENCH_$name.json"
+  if [ ! -x "$bin" ]; then
+    echo "skip $name (google-benchmark not available at configure time)"
+    return 0
+  fi
+  echo "run  $name"
+  if ! "$bin" --benchmark_min_time=0.01 \
+      --benchmark_out="$json" --benchmark_out_format=json > /dev/null; then
+    echo "FAIL $name: bench exited nonzero" >&2
+    status=1
+    return 0
+  fi
+  if ! validate "$json" gbench; then
+    status=1
+    return 0
+  fi
+  ran=$((ran + 1))
+}
+
+# Keep in sync with PPSC_BENCH_BUILDABLE in CMakeLists.txt.
+for name in \
+    e1_landscape e2_example41 e3_example42 e4_rackoff e6_bottom e7_euler \
+    e9_theorem43 e10_corollary44 e12_convergence e14_width_ablation \
+    e15_scheduler_ablation e17_boolean_closure e18_exact_convergence \
+    e19_census_profile; do
+  run_report_bench "$name"
+done
+
+for name in e11_sim_throughput e13_coverability; do
+  run_gbench_bench "$name"
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "error: no bench produced a report" >&2
+  exit 1
+fi
+if [ "$status" -ne 0 ]; then
+  echo "bench report: FAILED" >&2
+  exit "$status"
+fi
+echo "bench report: $ran schema-valid BENCH_*.json in $OUT_DIR"

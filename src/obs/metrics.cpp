@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace ppsc {
+namespace obs {
+
+std::size_t Histogram::bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  std::size_t bit = 0;
+  while (value >>= 1) ++bit;
+  return std::min<std::size_t>(bit + 1, kBuckets - 1);
+}
+
+void Histogram::record(std::uint64_t value) {
+  ++count;
+  sum += value;
+  max = std::max(max, value);
+  ++buckets[bucket_of(value)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+std::string MetricSnapshot::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& entry : counters) {
+    json.key(entry.first).value(entry.second);
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& entry : histograms) {
+    const Histogram& h = entry.second;
+    json.key(entry.first).begin_object();
+    json.key("count").value(h.count);
+    json.key("sum").value(h.sum);
+    json.key("max").value(h.max);
+    json.key("buckets").begin_array();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      const std::uint64_t lower = b == 0 ? 0 : (1ull << (b - 1));
+      json.begin_array().value(lower).value(h.buckets[b]).end_array();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+namespace {
+
+#if PPSC_OBS_ENABLED
+bool env_enables_obs() {
+  const char* env = std::getenv("PPSC_OBS");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+         std::strcmp(env, "on") == 0;
+}
+#endif
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+MetricRegistry::MetricRegistry() {
+#if PPSC_OBS_ENABLED
+  enabled_.store(env_enables_obs(), std::memory_order_relaxed);
+#endif
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+#if PPSC_OBS_ENABLED
+
+MetricRegistry::Sheet& MetricRegistry::local_sheet() {
+  // One sheet per thread, owned by the registry and kept alive after
+  // the thread exits so its contributions survive into snapshots (the
+  // "merge at join" happens lazily, at snapshot time). The registry is
+  // a leaked singleton, so the cached pointer can never dangle.
+  thread_local Sheet* sheet = nullptr;
+  if (sheet == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sheets_.push_back(std::make_unique<Sheet>());
+    sheet = sheets_.back().get();
+  }
+  return *sheet;
+}
+
+void MetricRegistry::add(const char* name, std::uint64_t delta) {
+  if (!enabled()) return;
+  Sheet& sheet = local_sheet();
+  std::lock_guard<std::mutex> lock(sheet.mu);
+  sheet.counters[name] += delta;
+}
+
+void MetricRegistry::record(const char* name, std::uint64_t value) {
+  if (!enabled()) return;
+  Sheet& sheet = local_sheet();
+  std::lock_guard<std::mutex> lock(sheet.mu);
+  sheet.histograms[name].record(value);
+}
+
+MetricSnapshot MetricRegistry::snapshot() const {
+  MetricSnapshot merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sheet : sheets_) {
+    std::lock_guard<std::mutex> sheet_lock(sheet->mu);
+    for (const auto& entry : sheet->counters) {
+      merged.counters[entry.first] += entry.second;
+    }
+    for (const auto& entry : sheet->histograms) {
+      merged.histograms[entry.first].merge(entry.second);
+    }
+  }
+  return merged;
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sheet : sheets_) {
+    std::lock_guard<std::mutex> sheet_lock(sheet->mu);
+    sheet->counters.clear();
+    sheet->histograms.clear();
+  }
+}
+
+#else  // !PPSC_OBS_ENABLED
+
+void MetricRegistry::add(const char* name, std::uint64_t delta) {
+  (void)name;
+  (void)delta;
+}
+
+void MetricRegistry::record(const char* name, std::uint64_t value) {
+  (void)name;
+  (void)value;
+}
+
+MetricSnapshot MetricRegistry::snapshot() const { return {}; }
+
+void MetricRegistry::reset() {}
+
+#endif  // PPSC_OBS_ENABLED
+
+ScopedTimer::ScopedTimer(const char* name) : name_(name) {
+  if (MetricRegistry::global().enabled()) {
+    armed_ = true;
+    start_ns_ = now_ns();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!armed_) return;
+  MetricRegistry& registry = MetricRegistry::global();
+  std::string wall = std::string(name_) + ".wall_ns";
+  std::string calls = std::string(name_) + ".calls";
+  registry.add(wall.c_str(), now_ns() - start_ns_);
+  registry.add(calls.c_str(), 1);
+}
+
+}  // namespace obs
+}  // namespace ppsc

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "petri/reachability.h"
 
 namespace ppsc {
@@ -23,8 +24,10 @@ Config backward_step(const PetriNet& net, std::size_t t, const Config& m) {
   return pred;
 }
 
-bool dominated(const std::vector<Config>& basis, const Config& m) {
+bool dominated(const std::vector<Config>& basis, const Config& m,
+               std::uint64_t& comparisons) {
   for (const Config& b : basis) {
+    ++comparisons;
     if (m.covers(b)) return true;
   }
   return false;
@@ -33,15 +36,25 @@ bool dominated(const std::vector<Config>& basis, const Config& m) {
 }  // namespace
 
 std::vector<Config> backward_basis(const PetriNet& net, const Config& target,
-                                   std::size_t max_basis) {
+                                   std::size_t max_basis,
+                                   BackwardBasisStats* stats) {
   if (target.size() != net.num_states()) {
     throw std::invalid_argument("backward_basis: target dimension mismatch");
   }
+  obs::ScopedTimer timer("coverability");
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  const bool obs_on = registry.enabled();
+  BackwardBasisStats local;
   std::vector<Config> basis{target};
   std::deque<Config> work{target};
   while (!work.empty()) {
     const Config m = std::move(work.front());
     work.pop_front();
+    ++local.iterations;
+    local.basis_size_sum += basis.size();
+    // The per-iteration basis trajectory is the e13 scaling story;
+    // bucketing it is only worth the map lookup when someone watches.
+    if (obs_on) registry.record("coverability.basis_size", basis.size());
     // m may have been pruned by a strictly smaller element meanwhile.
     bool alive = false;
     for (const Config& b : basis) {
@@ -53,19 +66,39 @@ std::vector<Config> backward_basis(const PetriNet& net, const Config& target,
     if (!alive) continue;
     for (std::size_t t = 0; t < net.num_transitions(); ++t) {
       Config pred = backward_step(net, t, m);
-      if (dominated(basis, pred)) continue;
+      ++local.predecessors;
+      if (dominated(basis, pred, local.comparisons)) {
+        ++local.pruned_dominated;
+        continue;
+      }
+      const std::size_t before = basis.size();
+      local.comparisons += before;
       basis.erase(std::remove_if(basis.begin(), basis.end(),
                                  [&pred](const Config& b) {
                                    return b.covers(pred);
                                  }),
                   basis.end());
+      local.evictions += before - basis.size();
       basis.push_back(pred);
+      local.basis_peak = std::max(local.basis_peak, basis.size());
       if (basis.size() > max_basis) {
         throw std::runtime_error("backward_basis: basis exceeds max_basis");
       }
       work.push_back(std::move(pred));
     }
   }
+  local.basis_final = basis.size();
+  local.basis_peak = std::max(local.basis_peak, local.basis_final);
+  if (obs_on) {
+    registry.add("coverability.iterations", local.iterations);
+    registry.add("coverability.predecessors", local.predecessors);
+    registry.add("coverability.pruned_dominated", local.pruned_dominated);
+    registry.add("coverability.evictions", local.evictions);
+    registry.add("coverability.comparisons", local.comparisons);
+    registry.record("coverability.basis_final", local.basis_final);
+    registry.record("coverability.basis_peak", local.basis_peak);
+  }
+  if (stats != nullptr) *stats = local;
   return basis;
 }
 
@@ -98,6 +131,7 @@ CoveringWordResult shortest_covering_word(const PetriNet& net,
               [&target](const Config& c) { return c.covers(target); });
   result.explored = graph.nodes.size();
   result.truncated = graph.truncated;
+  result.stats = graph.stats;
   if (graph.stopped.has_value()) {
     result.word = graph.word_to(*graph.stopped);
   }

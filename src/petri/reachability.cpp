@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace ppsc {
 namespace petri {
 
@@ -28,14 +30,26 @@ std::vector<std::size_t> ReachabilityGraph::word_to(std::size_t node) const {
 ReachabilityGraph explore(const PetriNet& net, const std::vector<Config>& roots,
                           const ExploreLimits& limits,
                           const std::function<bool(const Config&)>& stop) {
+  obs::ScopedTimer timer("explore");
+  // Bucket scans re-hash the config, so collision accounting is only
+  // collected when someone is watching.
+  const bool count_collisions = obs::MetricRegistry::global().enabled();
   ReachabilityGraph graph;
+  ExploreStats& stats = graph.stats;
   std::unordered_map<Config, std::size_t, ConfigHash> ids;
+  const auto note_insertion = [&](const Config& config) {
+    if (count_collisions) {
+      stats.collisions += ids.bucket_size(ids.bucket(config)) - 1;
+    }
+  };
   for (const Config& root : roots) {
     if (root.size() != net.num_states()) {
       throw std::invalid_argument("explore: root dimension mismatch");
     }
+    ++stats.probes;
     if (ids.count(root)) continue;
     ids.emplace(root, graph.nodes.size());
+    note_insertion(root);
     graph.nodes.push_back(root);
     graph.edges.emplace_back();
     graph.parent.push_back(ReachabilityGraph::kNoParent);
@@ -46,10 +60,13 @@ ReachabilityGraph explore(const PetriNet& net, const std::vector<Config>& roots,
   }
   for (std::size_t head = 0;
        head < graph.nodes.size() && !graph.stopped; ++head) {
+    stats.frontier_peak =
+        std::max(stats.frontier_peak, graph.nodes.size() - head);
     const Config current = graph.nodes[head];
     for (std::size_t t = 0; t < net.num_transitions(); ++t) {
       if (!net.enabled(t, current)) continue;
       Config next = net.fire(t, current);
+      ++stats.probes;
       auto it = ids.find(next);
       if (it == ids.end()) {
         if (graph.nodes.size() >= limits.max_nodes) {
@@ -57,6 +74,7 @@ ReachabilityGraph explore(const PetriNet& net, const std::vector<Config>& roots,
           continue;
         }
         it = ids.emplace(std::move(next), graph.nodes.size()).first;
+        note_insertion(it->first);
         graph.nodes.push_back(it->first);
         graph.edges.emplace_back();
         graph.parent.push_back(head);
@@ -66,8 +84,20 @@ ReachabilityGraph explore(const PetriNet& net, const std::vector<Config>& roots,
         }
       }
       graph.edges[head].push_back({it->second, t});
+      ++stats.edges;
       if (graph.stopped) break;
     }
+  }
+  stats.configs = graph.nodes.size();
+  stats.truncated = graph.truncated;
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  if (registry.enabled()) {
+    registry.add("explore.configs", stats.configs);
+    registry.add("explore.edges", stats.edges);
+    registry.add("explore.probes", stats.probes);
+    registry.add("explore.collisions", stats.collisions);
+    registry.add("explore.truncated", stats.truncated ? 1 : 0);
+    registry.record("explore.frontier_peak", stats.frontier_peak);
   }
   return graph;
 }

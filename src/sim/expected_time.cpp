@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "petri/config.h"
 #include "petri/petri_net.h"
 #include "petri/reachability.h"
@@ -82,7 +83,23 @@ bool solve_dense(std::vector<std::vector<long double>>& a,
 ExpectedTimeResult expected_interactions_to_silence(
     const core::Protocol& protocol, const std::vector<core::Count>& input,
     std::size_t max_configs) {
+  obs::ScopedTimer timer("expected_time");
   ExpectedTimeResult result;
+  // Every exit path reports the same summary counters; the lambda
+  // keeps the early returns (truncated / oversized block / singular)
+  // from silently skipping the publish.
+  const auto publish = [&result]() {
+    obs::MetricRegistry& registry = obs::MetricRegistry::global();
+    if (!registry.enabled()) return;
+    registry.add("expected_time.configs", result.reachable_configs);
+    registry.add("expected_time.sccs", result.sccs);
+    registry.add("expected_time.pivots", result.pivots);
+    registry.add("expected_time.truncated", result.truncated ? 1 : 0);
+    registry.add("expected_time.uncomputed", result.computed ? 0 : 1);
+    if (result.largest_scc > 0) {
+      registry.record("expected_time.largest_scc", result.largest_scc);
+    }
+  };
   const petri::PetriNet net(protocol.net());
   petri::ExploreLimits limits;
   limits.max_nodes = max_configs;
@@ -91,6 +108,7 @@ ExpectedTimeResult expected_interactions_to_silence(
   result.reachable_configs = graph.nodes.size();
   if (graph.truncated) {
     result.truncated = true;
+    publish();
     return result;
   }
 
@@ -116,6 +134,10 @@ ExpectedTimeResult expected_interactions_to_silence(
   for (std::size_t i = 0; i < n; ++i) {
     members[scc.component[i]].push_back(i);
   }
+  result.sccs = scc.count;
+  for (const auto& component : members) {
+    result.largest_scc = std::max(result.largest_scc, component.size());
+  }
 
   // Tarjan numbers components in reverse topological order: every edge
   // leaving component c lands in a component with a smaller id, so a
@@ -129,7 +151,11 @@ ExpectedTimeResult expected_interactions_to_silence(
       continue;
     }
     const std::size_t m = nodes.size();
-    if (m > kMaxDenseComponent) return result;
+    if (m > kMaxDenseComponent) {
+      publish();
+      return result;
+    }
+    result.pivots += m;
     for (std::size_t li = 0; li < m; ++li) local[nodes[li]] = li;
     // Row li: E_i - sum_{j in C} p_ij E_j = 1 + sum_{j notin C} p_ij E_j.
     std::vector<std::vector<long double>> a(m,
@@ -150,12 +176,16 @@ ExpectedTimeResult expected_interactions_to_silence(
       }
     }
     std::vector<long double> x;
-    if (!solve_dense(a, b, x)) return result;  // silence unreachable
+    if (!solve_dense(a, b, x)) {  // silence unreachable
+      publish();
+      return result;
+    }
     for (std::size_t li = 0; li < m; ++li) expected[nodes[li]] = x[li];
   }
 
   result.computed = true;
   result.expected_steps = static_cast<double>(expected[0]);
+  publish();
   return result;
 }
 

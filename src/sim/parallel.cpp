@@ -37,6 +37,7 @@ RunOutcome run_agent_path(const PairRuleTable& table,
   }
   outcome.steps = simulator.steps();
   outcome.output = summarize_output(protocol, simulator.census());
+  simulator.publish_metrics();
   return outcome;
 }
 

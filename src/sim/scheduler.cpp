@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "sim/weights.h"
 
 namespace ppsc {
@@ -76,7 +77,10 @@ std::optional<PairRuleTable> PairRuleTable::build(
 AgentSimulator::AgentSimulator(const PairRuleTable& table,
                                const core::Config& initial,
                                std::uint64_t seed)
-    : table_(&table), rng_(seed), counts_(initial) {
+    : table_(&table),
+      rng_(seed),
+      counts_(initial),
+      obs_(obs::MetricRegistry::global().enabled()) {
   if (initial.size() != table.num_states()) {
     throw std::invalid_argument(
         "AgentSimulator: configuration dimension does not match table");
@@ -115,13 +119,21 @@ long long AgentSimulator::pair_contribution(std::size_t state) const {
   return contribution;
 }
 
+template <bool kObs>
 void AgentSimulator::change_count(std::size_t state, core::Count delta) {
+  if (kObs) {
+    // pair_contribution walks the partner list once per call and is
+    // called twice below -- the silence-detection work the obs layer
+    // reports as sim.agent.scan_work.
+    scan_work_ += 2 * table_->partners(state).size();
+  }
   enabled_pairs_ -= pair_contribution(state);
   counts_[state] += delta;
   enabled_pairs_ += pair_contribution(state);
 }
 
-bool AgentSimulator::step() {
+template <bool kObs>
+bool AgentSimulator::step_impl() {
   ++interactions_;
   const std::uint64_t population = agents_.size();
   if (population < 2) return false;
@@ -131,14 +143,26 @@ bool AgentSimulator::step() {
   const PairRuleTable::Outcome* outcome =
       table_->rule(agents_[i], agents_[j]);
   if (outcome == nullptr) return false;
-  change_count(agents_[i], -1);
-  change_count(agents_[j], -1);
-  change_count(outcome->first, +1);
-  change_count(outcome->second, +1);
+  change_count<kObs>(agents_[i], -1);
+  change_count<kObs>(agents_[j], -1);
+  change_count<kObs>(outcome->first, +1);
+  change_count<kObs>(outcome->second, +1);
   agents_[i] = outcome->first;
   agents_[j] = outcome->second;
   ++steps_;
   return true;
+}
+
+template bool AgentSimulator::step_impl<false>();
+template bool AgentSimulator::step_impl<true>();
+
+void AgentSimulator::publish_metrics() const {
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  if (!registry.enabled()) return;
+  registry.add("sim.agent.runs", 1);
+  registry.add("sim.agent.draws", interactions_);
+  registry.add("sim.agent.productive", steps_);
+  registry.add("sim.agent.scan_work", scan_work_);
 }
 
 // ---------------------------------------------------------------------------
@@ -239,6 +263,7 @@ bool CountSimulator::step() {
     for (std::size_t dependent : dependents_[change.first]) {
       if (touched_[dependent] == stamp_) continue;
       touched_[dependent] = stamp_;
+      ++weight_updates_;
       total_ -= weights_[dependent];
       if (weights_[dependent] > 0.0) --num_active_;
       weights_[dependent] = instance_weight(transitions_[dependent]);
@@ -254,6 +279,14 @@ bool CountSimulator::step() {
     peak_total_ = total_;
   }
   return true;
+}
+
+void CountSimulator::publish_metrics() const {
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  if (!registry.enabled()) return;
+  registry.add("sim.count.runs", 1);
+  registry.add("sim.count.productive", steps_);
+  registry.add("sim.count.weight_updates", weight_updates_);
 }
 
 }  // namespace sim

@@ -34,6 +34,7 @@ SilenceRun run_to_silence(const core::Protocol& protocol,
   }
   run.final_config = simulator.census();
   run.final_output = summarize_output(protocol, run.final_config);
+  simulator.publish_metrics();
   return run;
 }
 

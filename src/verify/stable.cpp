@@ -1,7 +1,9 @@
 #include "verify/stable.h"
 
+#include <cstdint>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "petri/reachability.h"
 
 namespace ppsc {
@@ -31,6 +33,7 @@ Verdict check_input(const core::Protocol& protocol,
                     const core::Predicate& predicate,
                     const std::vector<core::Count>& input,
                     const CheckOptions& options) {
+  obs::ScopedTimer timer("verify");
   Verdict verdict;
   verdict.input = input;
 
@@ -58,9 +61,16 @@ Verdict check_input(const core::Protocol& protocol,
   }
   verdict.reachable_configs = graph.nodes.size();
 
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  if (registry.enabled()) {
+    registry.add("verify.inputs", 1);
+    registry.add("verify.reachable_configs", graph.nodes.size());
+  }
+  std::uint64_t bottom_configs = 0;
   const petri::SccDecomposition scc = petri::scc_decompose(graph);
   for (std::size_t u = 0; u < graph.nodes.size(); ++u) {
     if (!scc.bottom[scc.component[u]]) continue;
+    ++bottom_configs;
     const Config& config = graph.nodes[u].raw();
     for (std::size_t q = 0; q < config.size(); ++q) {
       if (config[q] > 0 && protocol.output(q) != expected) {
@@ -70,11 +80,14 @@ Verdict check_input(const core::Protocol& protocol,
                          protocol.state_name(q) + "' outputs " +
                          (expected ? "0" : "1") + " (expected consensus " +
                          (expected ? "1" : "0") + ")";
+        registry.add("verify.bottom_configs", bottom_configs);
+        registry.add("verify.failures", 1);
         return verdict;
       }
     }
   }
   verdict.ok = true;
+  registry.add("verify.bottom_configs", bottom_configs);
   return verdict;
 }
 

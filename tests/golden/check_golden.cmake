@@ -1,9 +1,13 @@
 # Runs a deterministic bench binary and diffs its stdout against the
 # checked-in golden transcript. Invoked by the golden.* CTest entries:
 #   cmake -DBENCH=<binary> -DGOLDEN=<file> -DOUT=<scratch> -P check_golden.cmake
+#
+# PPSC_BENCH_JSON is set on purpose: the golden diff then doubles as
+# proof that enabling observability (metrics on, JSON report written)
+# leaves bench stdout byte-identical.
 
 execute_process(
-  COMMAND ${BENCH}
+  COMMAND ${CMAKE_COMMAND} -E env PPSC_BENCH_JSON=${OUT}.json ${BENCH}
   OUTPUT_FILE ${OUT}
   RESULT_VARIABLE bench_status)
 if(NOT bench_status EQUAL 0)

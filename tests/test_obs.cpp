@@ -1,0 +1,394 @@
+// Observability subsystem: counter/timer/histogram semantics, the
+// hand-rolled JSON writer, merge determinism of the registry, the
+// engine stat structs, and the bench/report.h schema.
+//
+// Registry tests run against the process-global MetricRegistry (that
+// is the object the engines publish to), so each one starts with
+// reset() and leaves the registry disabled.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/constructions.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "petri/coverability.h"
+#include "petri/petri_net.h"
+#include "petri/reachability.h"
+#include "report.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using ppsc::obs::Histogram;
+using ppsc::obs::JsonWriter;
+using ppsc::obs::MetricRegistry;
+using ppsc::obs::MetricSnapshot;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of((1ull << 32) - 1), 32u);
+  EXPECT_EQ(Histogram::bucket_of(1ull << 32), 33u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 63u);
+}
+
+TEST(ObsHistogram, RecordAccumulates) {
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  h.record(100);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 110u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_EQ(h.buckets[0], 1u);               // the 0
+  EXPECT_EQ(h.buckets[3], 2u);               // 5 twice: [4, 8)
+  EXPECT_EQ(h.buckets[7], 1u);               // 100: [64, 128)
+}
+
+TEST(ObsHistogram, MergeIsBucketwiseSum) {
+  Histogram a, b;
+  a.record(3);
+  a.record(64);
+  b.record(3);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 3u + 64u + 3u + 1000u);
+  EXPECT_EQ(a.max, 1000u);
+  EXPECT_EQ(a.buckets[2], 2u);  // both 3s
+}
+
+// ---------------------------------------------------------------------------
+// JSON escaping and writer
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, EscapeControlAndSpecials) {
+  EXPECT_EQ(ppsc::obs::json_escape("plain"), "plain");
+  EXPECT_EQ(ppsc::obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(ppsc::obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(ppsc::obs::json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(ppsc::obs::json_escape(std::string("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+  // Multi-byte UTF-8 passes through untouched.
+  EXPECT_EQ(ppsc::obs::json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(ObsJson, UnescapeRoundTrip) {
+  std::string raw;
+  for (int c = 0; c < 256; ++c) raw += static_cast<char>(c);
+  auto back = ppsc::obs::json_unescape(ppsc::obs::json_escape(raw));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(ObsJson, UnescapeRejectsMalformed) {
+  EXPECT_FALSE(ppsc::obs::json_unescape("trailing\\").has_value());
+  EXPECT_FALSE(ppsc::obs::json_unescape("\\x41").has_value());
+  EXPECT_FALSE(ppsc::obs::json_unescape("\\u00").has_value());
+  EXPECT_FALSE(ppsc::obs::json_unescape("\\u00zz").has_value());
+  // The escaper never emits multi-byte code points; the decoder
+  // rejects them rather than guessing an encoding.
+  EXPECT_FALSE(ppsc::obs::json_unescape("\\u0100").has_value());
+}
+
+TEST(ObsJson, WriterPinnedOutput) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("x\ny");
+  json.key("n").value(std::uint64_t{42});
+  json.key("neg").value(std::int64_t{-7});
+  json.key("half").value(0.5);
+  json.key("flag").value(true);
+  json.key("list").begin_array().value(1).value(2).end_array();
+  json.key("empty").begin_object().end_object();
+  json.end_object();
+  EXPECT_TRUE(json.done());
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"x\\ny\",\"n\":42,\"neg\":-7,\"half\":0.5,"
+            "\"flag\":true,\"list\":[1,2],\"empty\":{}}");
+}
+
+TEST(ObsJson, WriterNonFiniteDoublesSerializeAsZero) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.0 / 0.0);
+  json.value(1.0 / 0.0);
+  json.value(-1.0 / 0.0);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[0,0,0]");
+}
+
+TEST(ObsJson, WriterDoneTracksTopLevel) {
+  JsonWriter json;
+  json.begin_object();
+  EXPECT_FALSE(json.done());
+  json.key("a").begin_array();
+  EXPECT_FALSE(json.done());
+  json.end_array();
+  json.end_object();
+  EXPECT_TRUE(json.done());
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+#if PPSC_OBS_ENABLED
+
+TEST(ObsRegistry, DisabledPublishesNothing) {
+  MetricRegistry& registry = MetricRegistry::global();
+  registry.reset();
+  registry.set_enabled(false);
+  registry.add("test.counter", 3);
+  registry.record("test.histogram", 9);
+  { ppsc::obs::ScopedTimer timer("test.timer"); }
+  const MetricSnapshot snapshot = registry.snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST(ObsRegistry, CountersAndTimers) {
+  MetricRegistry& registry = MetricRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+  registry.add("test.counter", 3);
+  registry.add("test.counter", 4);
+  registry.record("test.histogram", 9);
+  { ppsc::obs::ScopedTimer timer("test.timer"); }
+  { ppsc::obs::ScopedTimer timer("test.timer"); }
+  const MetricSnapshot snapshot = registry.snapshot();
+  registry.set_enabled(false);
+  EXPECT_EQ(snapshot.counters.at("test.counter"), 7u);
+  EXPECT_EQ(snapshot.histograms.at("test.histogram").count, 1u);
+  EXPECT_EQ(snapshot.counters.at("test.timer.calls"), 2u);
+  // Wall time is nonnegative by construction; presence is the contract.
+  EXPECT_TRUE(snapshot.counters.count("test.timer.wall_ns"));
+}
+
+TEST(ObsRegistry, ResetClearsButKeepsSheetsUsable) {
+  MetricRegistry& registry = MetricRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+  registry.add("test.counter", 1);
+  registry.reset();
+  EXPECT_TRUE(registry.snapshot().counters.empty());
+  registry.add("test.counter", 5);  // same thread, same (cleared) sheet
+  const MetricSnapshot snapshot = registry.snapshot();
+  registry.set_enabled(false);
+  EXPECT_EQ(snapshot.counters.at("test.counter"), 5u);
+}
+
+TEST(ObsRegistry, ThreadedMergeIsDeterministic) {
+  MetricRegistry& registry = MetricRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+  const auto publish = [&registry](std::uint64_t base) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      registry.add("test.threads", base + i);
+      registry.record("test.thread_hist", base + i);
+    }
+  };
+  std::vector<std::thread> workers;
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    workers.emplace_back(publish, w * 1000);
+  }
+  for (auto& worker : workers) worker.join();
+  const std::string threaded = registry.snapshot().to_json();
+
+  registry.reset();
+  for (std::uint64_t w = 0; w < 4; ++w) publish(w * 1000);
+  const std::string serial = registry.snapshot().to_json();
+  registry.set_enabled(false);
+  // Same publishes, any thread layout -> byte-identical serialization.
+  EXPECT_EQ(threaded, serial);
+}
+
+TEST(ObsRegistry, SnapshotJsonShape) {
+  MetricRegistry& registry = MetricRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+  registry.add("b.counter", 2);
+  registry.add("a.counter", 1);
+  registry.record("h", 5);
+  const std::string json = registry.snapshot().to_json();
+  registry.set_enabled(false);
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a.counter\":1,\"b.counter\":2},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":5,\"max\":5,"
+            "\"buckets\":[[4,1]]}}}");
+}
+
+// ---------------------------------------------------------------------------
+// Engine metrics end to end
+// ---------------------------------------------------------------------------
+
+TEST(ObsEngines, ParallelSweepSnapshotIsThreadCountInvariant) {
+  MetricRegistry& registry = MetricRegistry::global();
+  auto c = ppsc::core::unary_counting(4);
+
+  registry.reset();
+  registry.set_enabled(true);
+  const auto serial =
+      ppsc::sim::measure_convergence_parallel(c, {16}, 8, {}, 1);
+  const std::string snap1 = registry.snapshot().to_json();
+
+  registry.reset();
+  const auto parallel =
+      ppsc::sim::measure_convergence_parallel(c, {16}, 8, {}, 4);
+  const std::string snap4 = registry.snapshot().to_json();
+  registry.set_enabled(false);
+
+  // The sweep itself is bit-identical 1-vs-N (per-run seeds), and so
+  // is the metric snapshot: per-thread sheets merge by order-
+  // independent sums.
+  EXPECT_EQ(serial.mean_steps, parallel.mean_steps);
+  EXPECT_EQ(snap1, snap4);
+  EXPECT_FALSE(snap1.find("sim.agent.runs") == std::string::npos);
+}
+
+#endif  // PPSC_OBS_ENABLED
+
+TEST(ObsEngines, ExploreStatsOnHandComputedNet) {
+  // Chain s0 -> s1 -> s2 from {2,0,0}: the 6 weak compositions of 2
+  // tokens over a 3-chain, with 6 firings between them.
+  ppsc::petri::PetriNet net(3);
+  net.add(ppsc::petri::Config{1, 0, 0}, ppsc::petri::Config{0, 1, 0});
+  net.add(ppsc::petri::Config{0, 1, 0}, ppsc::petri::Config{0, 0, 1});
+  const auto graph =
+      ppsc::petri::explore(net, {ppsc::petri::Config{2, 0, 0}}, {});
+  EXPECT_EQ(graph.stats.configs, 6u);
+  EXPECT_EQ(graph.stats.configs, graph.nodes.size());
+  EXPECT_EQ(graph.stats.edges, 6u);
+  EXPECT_FALSE(graph.stats.truncated);
+  EXPECT_GE(graph.stats.frontier_peak, 1u);
+  // One probe per root + one per fired transition.
+  EXPECT_EQ(graph.stats.probes, 7u);
+}
+
+TEST(ObsEngines, ExploreStatsReportTruncation) {
+  ppsc::petri::PetriNet net(1);
+  net.add(ppsc::petri::Config{1}, ppsc::petri::Config{2});  // pump
+  ppsc::petri::ExploreLimits limits;
+  limits.max_nodes = 5;
+  const auto graph =
+      ppsc::petri::explore(net, {ppsc::petri::Config{1}}, limits);
+  EXPECT_TRUE(graph.stats.truncated);
+  EXPECT_EQ(graph.stats.configs, 5u);
+}
+
+TEST(ObsEngines, BackwardBasisStats) {
+  // Chain s0 -> s1 -> s2, cover s2: basis iterates {s2} -> {s1} -> {s0}.
+  ppsc::petri::PetriNet net(3);
+  net.add(ppsc::petri::Config{1, 0, 0}, ppsc::petri::Config{0, 1, 0});
+  net.add(ppsc::petri::Config{0, 1, 0}, ppsc::petri::Config{0, 0, 1});
+  ppsc::petri::BackwardBasisStats stats;
+  const auto basis = ppsc::petri::backward_basis(
+      net, ppsc::petri::Config{0, 0, 1}, 1u << 22, &stats);
+  EXPECT_EQ(stats.basis_final, basis.size());
+  EXPECT_GE(stats.basis_peak, stats.basis_final);
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.predecessors, 0u);
+  EXPECT_GT(stats.comparisons, 0u);
+}
+
+TEST(ObsEngines, CoveringWordCarriesExploreStats) {
+  ppsc::petri::PetriNet net(2);
+  net.add(ppsc::petri::Config{1, 0}, ppsc::petri::Config{0, 1});
+  const auto result = ppsc::petri::shortest_covering_word(
+      net, ppsc::petri::Config{2, 0}, ppsc::petri::Config{0, 2}, 1000);
+  ASSERT_TRUE(result.word.has_value());
+  EXPECT_EQ(result.stats.configs, result.explored);
+  EXPECT_GT(result.stats.probes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// bench/report.h schema
+// ---------------------------------------------------------------------------
+
+TEST(ObsReport, SchemaIsPinned) {
+  const std::string path =
+      testing::TempDir() + "/ppsc_obs_report_schema.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("PPSC_BENCH_JSON", path.c_str(), 1), 0);
+  {
+    MetricRegistry& registry = MetricRegistry::global();
+    registry.reset();
+    ppsc::bench::Report report("schema_probe");
+    registry.add("probe.counter", 3);
+    registry.record("probe.hist", 4);
+    report.add_items(10.0);
+  }
+  ASSERT_EQ(unsetenv("PPSC_BENCH_JSON"), 0);
+  MetricRegistry::global().set_enabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "report not written to " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  // Key order and nesting are part of the schema contract
+  // scripts/bench_report.sh and downstream tooling rely on.
+  EXPECT_EQ(json.find("{\"bench\":\"schema_probe\",\"git_rev\":\""), 0u);
+  const std::size_t rev_pos = json.find("\"git_rev\":");
+  const std::size_t wall_pos = json.find("\"wall_ms\":");
+  const std::size_t items_pos = json.find("\"items_per_sec\":");
+  const std::size_t counters_pos = json.find("\"counters\":{");
+  const std::size_t histograms_pos = json.find("\"histograms\":{");
+  ASSERT_NE(rev_pos, std::string::npos);
+  ASSERT_NE(wall_pos, std::string::npos);
+  ASSERT_NE(items_pos, std::string::npos);
+  ASSERT_NE(counters_pos, std::string::npos);
+  ASSERT_NE(histograms_pos, std::string::npos);
+  EXPECT_LT(rev_pos, wall_pos);
+  EXPECT_LT(wall_pos, items_pos);
+  EXPECT_LT(items_pos, counters_pos);
+  EXPECT_LT(counters_pos, histograms_pos);
+  EXPECT_EQ(json.back(), '\n');
+
+#if PPSC_OBS_ENABLED
+  // The registry was enabled by the Report constructor, so the probe
+  // metrics (and the flattened histogram triple) are in `counters`.
+  EXPECT_NE(json.find("\"probe.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"probe.hist.count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"probe.hist.sum\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"probe.hist.max\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"probe.hist\":{\"count\":1,\"sum\":4,\"max\":4,"
+                      "\"buckets\":[[4,1]]}"),
+            std::string::npos);
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(ObsReport, InertWithoutEnv) {
+  const std::string path =
+      testing::TempDir() + "/ppsc_obs_report_inert.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(unsetenv("PPSC_BENCH_JSON"), 0);
+  const bool was_enabled = MetricRegistry::global().enabled();
+  { ppsc::bench::Report report("inert_probe"); }
+  EXPECT_EQ(MetricRegistry::global().enabled(), was_enabled);
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
+}  // namespace
