@@ -24,6 +24,7 @@
 
 #include "core/constructions.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 namespace {
@@ -151,9 +152,18 @@ BENCHMARK(BM_RuleTableBuild)->Arg(8)->Arg(32)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // PPSC_TRACE_JSON: arm the span tracer before the guard + benchmarks
+  // and export after. The guard toggles only the *metric* registry, so
+  // tracing stays on across it (AgentSimulator::step has no spans --
+  // tracing cannot perturb the overhead measurement).
+  if (ppsc::obs::trace_json_env() != nullptr) {
+    ppsc::obs::TraceRegistry::global().set_enabled(true);
+  }
   if (!overhead_guard()) return 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ppsc::obs::write_trace_if_requested();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/constructions.h"
+#include "obs/trace.h"
 #include "petri/coverability.h"
 #include "petri/karp_miller.h"
 
@@ -118,4 +119,16 @@ BENCHMARK(BM_ShortestCoveringWord_Unary)->Arg(6)->Arg(10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // PPSC_TRACE_JSON: same contract as e11 -- arm the span tracer before
+  // the benchmarks run, export a Chrome trace after.
+  if (ppsc::obs::trace_json_env() != nullptr) {
+    ppsc::obs::TraceRegistry::global().set_enabled(true);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ppsc::obs::write_trace_if_requested();
+  return 0;
+}

@@ -9,11 +9,16 @@
 #include <cstdio>
 
 #include "core/constructions.h"
+#include "petri/coverability.h"
+#include "petri/karp_miller.h"
 #include "petri/petri_net.h"
 #include "petri/reachability.h"
 #include "report.h"
+#include "sim/expected_time.h"
+#include "sim/parallel.h"
 #include "sim/trace.h"
 #include "util/table.h"
+#include "verify/stable.h"
 
 namespace {
 
@@ -79,6 +84,53 @@ void print_state_space_census() {
   std::printf("\n");
 }
 
+// One small run of every engine on the same family (unary counting).
+// The census bench is the designated trace sample (scripts/bench_report.sh
+// archives its PPSC_TRACE_JSON output), so this section guarantees the
+// trace holds nested spans from all engines -- explore, coverability,
+// karp_miller, expected_time, verify, and a multi-threaded sim sweep
+// whose per-run spans land on distinct worker-thread tracks.
+void print_engine_cross_section() {
+  std::printf("Engine cross-section (unary(6), one query per engine):\n\n");
+  ppsc::util::TablePrinter table({"engine", "result", "work"});
+  auto c = ppsc::core::unary_counting(6);
+  const ppsc::petri::PetriNet net(c.protocol.net());
+  const ppsc::petri::Config source(c.protocol.initial_config({5}));
+  const ppsc::petri::Config target = ppsc::petri::Config::unit(
+      c.protocol.num_states(), c.protocol.states().at("6!"));
+
+  ppsc::petri::BackwardBasisStats basis_stats;
+  const auto basis =
+      ppsc::petri::backward_basis(net, target, 1u << 22, &basis_stats);
+  table.add_row({"coverability", std::to_string(basis.size()) + " basis",
+                 std::to_string(basis_stats.iterations) + " iterations"});
+
+  const auto km = ppsc::petri::karp_miller(net, source, 100000);
+  table.add_row({"karp_miller", std::to_string(km.nodes.size()) + " nodes",
+                 km.covers(target) ? "covers 6!" : "no cover"});
+
+  const auto et =
+      ppsc::sim::expected_interactions_to_silence(c.protocol, {5}, 200000);
+  table.add_row({"expected_time",
+                 ppsc::util::format_double(et.expected_steps, 2) + " steps",
+                 std::to_string(et.sccs) + " sccs"});
+
+  const auto verdict = ppsc::verify::check_input(
+      c.protocol, c.predicate, {5}, ppsc::verify::CheckOptions{});
+  table.add_row({"verify", verdict.ok ? "ok" : "FAIL",
+                 std::to_string(verdict.reachable_configs) + " configs"});
+
+  ppsc::sim::RunOptions options;
+  options.max_steps = 2'000'000;
+  const auto sweep = ppsc::sim::measure_convergence_parallel(
+      c, {5}, /*runs=*/8, options, /*num_threads=*/4);
+  table.add_row({"sim.parallel", std::to_string(sweep.converged) + "/8 runs",
+                 ppsc::util::format_double(sweep.mean_steps, 1) +
+                     " mean steps"});
+  table.print();
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main() {
@@ -93,6 +145,7 @@ int main() {
   steps += print_profile("example_4_2(8)", ppsc::core::example_4_2(8), 256);
   report.add_items(static_cast<double>(steps));
   print_state_space_census();
+  print_engine_cross_section();
   std::printf(
       "All profiles end at 1-fraction = 1.0; the knee where the fraction\n"
       "jumps marks the accept event, after which conversion is an epidemic\n"

@@ -5,7 +5,8 @@
 // PPSC_BENCH_JSON environment variable names a path, the constructor
 // enables the obs metric registry and the destructor writes
 //
-//   {"bench": <name>, "git_rev": <rev>, "wall_ms": <main wall time>,
+//   {"bench": <name>, "git_rev": <rev>, "threads": <hw threads>,
+//    "obs_compiled": <bool>, "wall_ms": <main wall time>,
 //    "items_per_sec": <items/s or 0>, "counters": {...},
 //    "histograms": {...}}
 //
@@ -15,16 +16,29 @@
 // prints except to stderr on a write failure. Without PPSC_BENCH_JSON
 // the Report is inert: no registry toggle, no file, no timing output.
 //
+// The metadata keys after `bench` are deliberately wall-clock-free:
+// git_rev, thread count, and the compiled PPSC_OBS state identify a
+// measurement environment reproducibly (scripts/bench_compare.py
+// keys on them); timestamps would make every regeneration a diff.
+//
 // `counters` holds every registry counter (sorted keys) plus a
 // flattened `<histogram>.count/.sum/.max` triple per histogram, so
 // downstream tooling can treat the report as one flat numeric map;
-// full bucket detail stays available under `histograms`. The schema
-// keys bench/git_rev/wall_ms/items_per_sec/counters are validated by
-// scripts/bench_report.sh and pinned by tests/test_obs.cpp.
+// full bucket detail plus derived p50/p90/p99 quantile estimates stay
+// available under `histograms`. The schema keys
+// bench/git_rev/threads/obs_compiled/wall_ms/items_per_sec/counters
+// are validated by scripts/bench_report.sh and pinned by
+// tests/test_obs.cpp.
+//
+// Independently, when PPSC_TRACE_JSON names a path the constructor
+// enables the span trace registry (obs/trace.h) and the destructor
+// exports the collected spans as Chrome trace-event JSON there --
+// every hand-rolled bench gets a Perfetto-loadable trace for free.
 //
 // e11/e13 are google-benchmark binaries and do not use this header;
 // their JSON comes from --benchmark_out=json (same script, same
-// BENCH_<name>.json naming).
+// BENCH_<name>.json naming) and their mains handle PPSC_TRACE_JSON
+// explicitly.
 
 #ifndef PPSC_BENCH_REPORT_H
 #define PPSC_BENCH_REPORT_H
@@ -33,9 +47,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 #ifndef PPSC_GIT_REV
 #define PPSC_GIT_REV "unknown"
@@ -53,6 +69,9 @@ class Report {
       path_ = path;
       obs::MetricRegistry::global().set_enabled(true);
     }
+    if (obs::trace_json_env() != nullptr) {
+      obs::TraceRegistry::global().set_enabled(true);
+    }
   }
 
   Report(const Report&) = delete;
@@ -63,6 +82,11 @@ class Report {
   void add_items(double items) { items_ += items; }
 
   ~Report() {
+    // The trace export is independent of the metric report: a bench
+    // run may ask for either or both. Bench mains are single-threaded
+    // at destruction time (sweep workers joined), the documented
+    // export contract.
+    obs::write_trace_if_requested();
     if (path_.empty()) return;
     const std::chrono::duration<double, std::milli> elapsed =
         std::chrono::steady_clock::now() - start_;
@@ -76,6 +100,9 @@ class Report {
     json.begin_object();
     json.key("bench").value(name_);
     json.key("git_rev").value(PPSC_GIT_REV);
+    json.key("threads").value(static_cast<std::uint64_t>(
+        std::thread::hardware_concurrency()));
+    json.key("obs_compiled").value(PPSC_OBS_ENABLED != 0);
     json.key("wall_ms").value(wall_ms);
     json.key("items_per_sec").value(items_per_sec);
     json.key("counters").begin_object();
@@ -95,6 +122,9 @@ class Report {
       json.key("count").value(h.count);
       json.key("sum").value(h.sum);
       json.key("max").value(h.max);
+      json.key("p50").value(h.quantile(0.5));
+      json.key("p90").value(h.quantile(0.9));
+      json.key("p99").value(h.quantile(0.99));
       json.key("buckets").begin_array();
       for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
         if (h.buckets[b] == 0) continue;

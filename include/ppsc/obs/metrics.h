@@ -59,6 +59,13 @@ struct Histogram {
 
   void record(std::uint64_t value);
   void merge(const Histogram& other);
+
+  // Quantile estimate from the log buckets: linear interpolation
+  // inside the bucket holding rank q*count, with the bucket's upper
+  // edge clamped to the observed max (so estimates never exceed a
+  // value that actually occurred). Exact for bucket-0 (zero) values;
+  // elsewhere accurate to the bucket width. Returns 0 when empty.
+  double quantile(double q) const;
 };
 
 // A merged, point-in-time view of every sheet in a registry. Keys are
@@ -67,9 +74,11 @@ struct MetricSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, Histogram> histograms;
 
-  // {"counters": {...}, "histograms": {name: {count, sum, max,
-  // buckets: [[lower_bound, count], ...]}}} with sorted keys and no
-  // whitespace; byte-identical for equal snapshots.
+  // {"counters": {...}, "histograms": {name: {count, sum, max, p50,
+  // p90, p99, buckets: [[lower_bound, count], ...]}}} with sorted
+  // keys and no whitespace; byte-identical for equal snapshots. The
+  // quantiles are the derived estimates of Histogram::quantile, so
+  // percentiles need no offline recomputation from the buckets.
   std::string to_json() const;
 };
 
@@ -147,6 +156,15 @@ class ScopedTimer {
   std::uint64_t start_ns_ = 0;
   bool armed_ = false;
 };
+
+// Writes the global registry snapshot (to_json + newline) to the path
+// named by PPSC_OBS_DUMP; returns true iff a file was written, false
+// when the variable is unset/empty or the write fails. The registry
+// registers this via atexit when it is constructed with PPSC_OBS_DUMP
+// set (and enables itself), so *any* binary that touches the registry
+// -- a slow golden run, a ctest binary, a one-off tool -- dumps its
+// full snapshot at process exit without code changes.
+bool write_snapshot_if_requested();
 
 }  // namespace obs
 }  // namespace ppsc

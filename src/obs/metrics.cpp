@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -31,6 +32,38 @@ void Histogram::merge(const Histogram& other) {
   for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
 }
 
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t before = cum;
+    cum += buckets[b];
+    if (static_cast<double>(cum) < rank) continue;
+    if (b == 0) return 0.0;  // bucket 0 holds exactly the value 0
+    const double lower = static_cast<double>(1ull << (b - 1));
+    // Bucket 63 is open-ended; max is its only honest upper edge. For
+    // every bucket the clamp keeps the estimate at or below a value
+    // that was actually recorded.
+    double upper = b >= kBuckets - 1
+                       ? static_cast<double>(max)
+                       : static_cast<double>(1ull << b);
+    upper = std::min(upper, static_cast<double>(max));
+    // A nonempty bucket contains a value >= lower, so max >= lower and
+    // the clamped edges can at worst coincide.
+    if (upper <= lower) return lower;
+    const double fraction = std::min(
+        std::max((rank - static_cast<double>(before)) /
+                     static_cast<double>(buckets[b]),
+                 0.0),
+        1.0);
+    return lower + (upper - lower) * fraction;
+  }
+  return static_cast<double>(max);
+}
+
 std::string MetricSnapshot::to_json() const {
   JsonWriter json;
   json.begin_object();
@@ -46,6 +79,9 @@ std::string MetricSnapshot::to_json() const {
     json.key("count").value(h.count);
     json.key("sum").value(h.sum);
     json.key("max").value(h.max);
+    json.key("p50").value(h.quantile(0.5));
+    json.key("p90").value(h.quantile(0.9));
+    json.key("p99").value(h.quantile(0.99));
     json.key("buckets").begin_array();
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
       if (h.buckets[b] == 0) continue;
@@ -82,7 +118,18 @@ std::uint64_t now_ns() {
 
 MetricRegistry::MetricRegistry() {
 #if PPSC_OBS_ENABLED
-  enabled_.store(env_enables_obs(), std::memory_order_relaxed);
+  // PPSC_OBS_DUMP implies observation: a snapshot of a disabled
+  // registry would always be empty, so asking for the dump enables
+  // collection too. The atexit handler runs before static destruction
+  // of anything registered later, and the registry itself is leaked,
+  // so the final snapshot is safe to take there.
+  const char* dump = std::getenv("PPSC_OBS_DUMP");
+  const bool dump_requested = dump != nullptr && *dump != '\0';
+  enabled_.store(env_enables_obs() || dump_requested,
+                 std::memory_order_relaxed);
+  if (dump_requested) {
+    std::atexit([] { write_snapshot_if_requested(); });
+  }
 #endif
 }
 
@@ -162,6 +209,22 @@ MetricSnapshot MetricRegistry::snapshot() const { return {}; }
 void MetricRegistry::reset() {}
 
 #endif  // PPSC_OBS_ENABLED
+
+bool write_snapshot_if_requested() {
+  const char* path = std::getenv("PPSC_OBS_DUMP");
+  if (path == nullptr || *path == '\0') return false;
+  const std::string json = MetricRegistry::global().snapshot().to_json();
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "obs::write_snapshot_if_requested: cannot open %s\n",
+                 path);
+    return false;
+  }
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
+}
 
 ScopedTimer::ScopedTimer(const char* name) : name_(name) {
   if (MetricRegistry::global().enabled()) {

@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace ppsc {
+namespace obs {
+
+void TraceEvent::add_arg(const char* key, std::uint64_t value) {
+  if (num_args >= kMaxArgs) return;
+  args[num_args].key = key;
+  args[num_args].value = value;
+  ++num_args;
+}
+
+// Single-producer ring: the owning thread writes slots then bumps
+// head with release; collectors read head with acquire and the slots
+// below it. Overwritten slots (head past capacity) are the dropped
+// window. Readers are exact only when producers are quiescent, which
+// is the documented export contract.
+struct TraceRegistry::Ring {
+  explicit Ring(std::uint32_t ring_id) : id(ring_id) {
+    slots.resize(kRingCapacity);
+  }
+
+  std::uint32_t id;
+  std::atomic<std::uint64_t> head{0};
+  std::vector<TraceEvent> slots;
+};
+
+#if PPSC_OBS_ENABLED
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+         std::strcmp(env, "on") == 0;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+#endif  // PPSC_OBS_ENABLED
+
+TraceRegistry::TraceRegistry() {
+#if PPSC_OBS_ENABLED
+  // Asking for a trace file implies tracing; PPSC_OBS_TRACE alone
+  // arms the spans for in-process consumers (tests, future tooling).
+  enabled_.store(env_truthy("PPSC_OBS_TRACE") || trace_json_env() != nullptr,
+                 std::memory_order_relaxed);
+#endif
+}
+
+TraceRegistry& TraceRegistry::global() {
+  static TraceRegistry* registry = new TraceRegistry();
+  return *registry;
+}
+
+#if PPSC_OBS_ENABLED
+
+TraceRegistry::Ring& TraceRegistry::local_ring() {
+  // One ring per thread, owned by the registry and kept alive after
+  // the thread exits so its events survive into the export. The
+  // registry is a leaked singleton, so the cached pointer cannot
+  // dangle.
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(
+        std::make_unique<Ring>(static_cast<std::uint32_t>(rings_.size())));
+    ring = rings_.back().get();
+  }
+  return *ring;
+}
+
+void TraceRegistry::append(TraceEvent event) {
+  if (!enabled()) return;
+  Ring& ring = local_ring();
+  event.thread_id = ring.id;
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  ring.slots[head % kRingCapacity] = event;
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRegistry::collect() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      const std::uint64_t kept = std::min<std::uint64_t>(head, kRingCapacity);
+      for (std::uint64_t i = head - kept; i < head; ++i) {
+        events.push_back(ring->slots[i % kRingCapacity]);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+              if (a.t_start_ns != b.t_start_ns) {
+                return a.t_start_ns < b.t_start_ns;
+              }
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return events;
+}
+
+std::uint64_t TraceRegistry::dropped() const {
+  std::uint64_t lost = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > kRingCapacity) lost += head - kRingCapacity;
+  }
+  return lost;
+}
+
+void TraceRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+#else  // !PPSC_OBS_ENABLED
+
+void TraceRegistry::append(TraceEvent event) { (void)event; }
+
+std::vector<TraceEvent> TraceRegistry::collect() const { return {}; }
+
+std::uint64_t TraceRegistry::dropped() const { return 0; }
+
+void TraceRegistry::reset() {}
+
+#endif  // PPSC_OBS_ENABLED
+
+std::string TraceRegistry::to_chrome_json() const {
+  const std::vector<TraceEvent> events = collect();
+  // Rebase to the earliest start so timestamps are small and the
+  // output is deterministic for injected (fixed-clock) events.
+  std::uint64_t base = 0;
+  if (!events.empty()) {
+    base = events.front().t_start_ns;
+    for (const TraceEvent& e : events) base = std::min(base, e.t_start_ns);
+  }
+  // The trace-event format fixes ts/dur in microseconds; fractional
+  // values carry the nanoseconds.
+  const auto to_us = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1000.0;
+  };
+  JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    json.begin_object();
+    json.key("name").value(e.name);
+    json.key("cat").value(e.category);
+    json.key("ph").value("X");
+    json.key("ts").value(to_us(e.t_start_ns - base));
+    json.key("dur").value(to_us(e.t_end_ns - e.t_start_ns));
+    json.key("pid").value(1);
+    json.key("tid").value(static_cast<std::uint64_t>(e.thread_id));
+    if (e.num_args > 0) {
+      json.key("args").begin_object();
+      for (std::uint32_t a = 0; a < e.num_args; ++a) {
+        json.key(e.args[a].key).value(e.args[a].value);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("displayTimeUnit").value("ns");
+  json.end_object();
+  return json.str();
+}
+
+bool TraceRegistry::write_chrome_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "obs::TraceRegistry: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = to_chrome_json();
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
+}
+
+#if PPSC_OBS_ENABLED
+
+namespace {
+
+// Nesting depth of the spans currently open on this thread.
+thread_local std::uint32_t span_depth = 0;
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(const char* name, const char* category) {
+  if (!TraceRegistry::global().enabled()) return;
+  armed_ = true;
+  event_.name = name;
+  event_.category = category;
+  event_.depth = span_depth++;
+  event_.t_start_ns = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  event_.t_end_ns = now_ns();
+  --span_depth;
+  TraceRegistry::global().append(event_);
+}
+
+#endif  // PPSC_OBS_ENABLED
+
+const char* trace_json_env() {
+  const char* env = std::getenv("PPSC_TRACE_JSON");
+  return (env != nullptr && *env != '\0') ? env : nullptr;
+}
+
+bool write_trace_if_requested() {
+  const char* path = trace_json_env();
+  if (path == nullptr) return false;
+  return TraceRegistry::global().write_chrome_json(path);
+}
+
+}  // namespace obs
+}  // namespace ppsc

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "petri/reachability.h"
 
 namespace ppsc {
@@ -42,14 +44,27 @@ std::vector<Config> backward_basis(const PetriNet& net, const Config& target,
     throw std::invalid_argument("backward_basis: target dimension mismatch");
   }
   obs::ScopedTimer timer("coverability");
+  obs::ScopedSpan span("coverability", "petri");
   obs::MetricRegistry& registry = obs::MetricRegistry::global();
   const bool obs_on = registry.enabled();
   BackwardBasisStats local;
   std::vector<Config> basis{target};
   std::deque<Config> work{target};
+  // Backward steps and dominance scans interleave per popped marking;
+  // chunk spans window them so a trace shows the basis trajectory
+  // (args carry the basis size at each window start) without
+  // per-iteration events.
+  constexpr std::uint64_t kChunkIterations = 512;
+  std::optional<obs::ScopedSpan> chunk_span;
   while (!work.empty()) {
     const Config m = std::move(work.front());
     work.pop_front();
+    if (local.iterations % kChunkIterations == 0 &&
+        local.iterations + work.size() > kChunkIterations) {
+      chunk_span.emplace("coverability.chunk", "petri");
+      chunk_span->arg("iteration", local.iterations);
+      chunk_span->arg("basis", basis.size());
+    }
     ++local.iterations;
     local.basis_size_sum += basis.size();
     // The per-iteration basis trajectory is the e13 scaling story;
@@ -87,8 +102,11 @@ std::vector<Config> backward_basis(const PetriNet& net, const Config& target,
       work.push_back(std::move(pred));
     }
   }
+  chunk_span.reset();
   local.basis_final = basis.size();
   local.basis_peak = std::max(local.basis_peak, local.basis_final);
+  span.arg("iterations", local.iterations);
+  span.arg("basis_final", local.basis_final);
   if (obs_on) {
     registry.add("coverability.iterations", local.iterations);
     registry.add("coverability.predecessors", local.predecessors);
@@ -123,6 +141,7 @@ CoveringWordResult shortest_covering_word(const PetriNet& net,
         "shortest_covering_word: dimension mismatch");
   }
   CoveringWordResult result;
+  obs::ScopedSpan span("coverability.word", "petri");
   // BFS discovery order makes the first covering node a shortest one.
   ExploreLimits limits;
   limits.max_nodes = max_nodes;
@@ -135,6 +154,8 @@ CoveringWordResult shortest_covering_word(const PetriNet& net,
   if (graph.stopped.has_value()) {
     result.word = graph.word_to(*graph.stopped);
   }
+  span.arg("explored", result.explored);
+  span.arg("found", graph.stopped.has_value() ? 1 : 0);
   return result;
 }
 

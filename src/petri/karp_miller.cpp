@@ -1,8 +1,13 @@
 #include "petri/karp_miller.h"
 
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppsc {
 namespace petri {
@@ -53,11 +58,21 @@ KarpMillerResult karp_miller(const PetriNet& net, const Config& root,
   if (root.size() != net.num_states()) {
     throw std::invalid_argument("karp_miller: root dimension mismatch");
   }
+  obs::ScopedTimer timer("karp_miller");
+  obs::ScopedSpan span("karp_miller", "petri");
+  std::uint64_t accelerations = 0;
   KarpMillerResult result;
   std::unordered_map<Config, std::size_t, ConfigHash> seen;
   result.nodes.push_back({root, KarpMillerResult::kNoParent, 0});
   seen.emplace(root, 0);
+  constexpr std::size_t kChunkNodes = 1024;
+  std::optional<obs::ScopedSpan> chunk_span;
   for (std::size_t head = 0; head < result.nodes.size(); ++head) {
+    if (head % kChunkNodes == 0 && result.nodes.size() > kChunkNodes) {
+      chunk_span.emplace("karp_miller.chunk", "petri");
+      chunk_span->arg("head", head);
+      chunk_span->arg("nodes", result.nodes.size());
+    }
     for (std::size_t t = 0; t < net.num_transitions(); ++t) {
       const Transition& tr = net.transition(t);
       // Copy: nodes may reallocate while we append successors.
@@ -78,6 +93,7 @@ KarpMillerResult karp_miller(const PetriNet& net, const Config& root,
             for (std::size_t p = 0; p < next.size(); ++p) {
               if (next[p] != kOmega && ancestor[p] < next[p]) {
                 next[p] = kOmega;
+                ++accelerations;
                 changed = true;
               }
             }
@@ -96,6 +112,15 @@ KarpMillerResult karp_miller(const PetriNet& net, const Config& root,
       seen.emplace(next, result.nodes.size());
       result.nodes.push_back({std::move(next), head, t});
     }
+  }
+  chunk_span.reset();
+  span.arg("nodes", result.nodes.size());
+  span.arg("accelerations", accelerations);
+  obs::MetricRegistry& registry = obs::MetricRegistry::global();
+  if (registry.enabled()) {
+    registry.add("karp_miller.nodes", result.nodes.size());
+    registry.add("karp_miller.accelerations", accelerations);
+    registry.add("karp_miller.truncated", result.truncated ? 1 : 0);
   }
   return result;
 }

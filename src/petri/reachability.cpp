@@ -1,11 +1,13 @@
 #include "petri/reachability.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ppsc {
 namespace petri {
@@ -31,6 +33,7 @@ ReachabilityGraph explore(const PetriNet& net, const std::vector<Config>& roots,
                           const ExploreLimits& limits,
                           const std::function<bool(const Config&)>& stop) {
   obs::ScopedTimer timer("explore");
+  obs::ScopedSpan span("explore", "petri");
   // Bucket scans re-hash the config, so collision accounting is only
   // collected when someone is watching.
   const bool count_collisions = obs::MetricRegistry::global().enabled();
@@ -42,54 +45,72 @@ ReachabilityGraph explore(const PetriNet& net, const std::vector<Config>& roots,
       stats.collisions += ids.bucket_size(ids.bucket(config)) - 1;
     }
   };
-  for (const Config& root : roots) {
-    if (root.size() != net.num_states()) {
-      throw std::invalid_argument("explore: root dimension mismatch");
-    }
-    ++stats.probes;
-    if (ids.count(root)) continue;
-    ids.emplace(root, graph.nodes.size());
-    note_insertion(root);
-    graph.nodes.push_back(root);
-    graph.edges.emplace_back();
-    graph.parent.push_back(ReachabilityGraph::kNoParent);
-    graph.parent_transition.push_back(0);
-    if (!graph.stopped && stop && stop(root)) {
-      graph.stopped = graph.nodes.size() - 1;
+  {
+    obs::ScopedSpan seed_span("explore.seed", "petri");
+    for (const Config& root : roots) {
+      if (root.size() != net.num_states()) {
+        throw std::invalid_argument("explore: root dimension mismatch");
+      }
+      ++stats.probes;
+      if (ids.count(root)) continue;
+      ids.emplace(root, graph.nodes.size());
+      note_insertion(root);
+      graph.nodes.push_back(root);
+      graph.edges.emplace_back();
+      graph.parent.push_back(ReachabilityGraph::kNoParent);
+      graph.parent_transition.push_back(0);
+      if (!graph.stopped && stop && stop(root)) {
+        graph.stopped = graph.nodes.size() - 1;
+      }
     }
   }
-  for (std::size_t head = 0;
-       head < graph.nodes.size() && !graph.stopped; ++head) {
-    stats.frontier_peak =
-        std::max(stats.frontier_peak, graph.nodes.size() - head);
-    const Config current = graph.nodes[head];
-    for (std::size_t t = 0; t < net.num_transitions(); ++t) {
-      if (!net.enabled(t, current)) continue;
-      Config next = net.fire(t, current);
-      ++stats.probes;
-      auto it = ids.find(next);
-      if (it == ids.end()) {
-        if (graph.nodes.size() >= limits.max_nodes) {
-          graph.truncated = true;
-          continue;
-        }
-        it = ids.emplace(std::move(next), graph.nodes.size()).first;
-        note_insertion(it->first);
-        graph.nodes.push_back(it->first);
-        graph.edges.emplace_back();
-        graph.parent.push_back(head);
-        graph.parent_transition.push_back(t);
-        if (stop && stop(it->first)) {
-          graph.stopped = graph.nodes.size() - 1;
-        }
+  {
+    obs::ScopedSpan frontier_span("explore.frontier", "petri");
+    // Chunk spans slice the BFS into fixed node windows, so a Perfetto
+    // view shows where the expansion slowed down (hash-table growth,
+    // widening frontier) without per-node events.
+    constexpr std::size_t kChunkNodes = 8192;
+    std::optional<obs::ScopedSpan> chunk_span;
+    for (std::size_t head = 0;
+         head < graph.nodes.size() && !graph.stopped; ++head) {
+      if (head % kChunkNodes == 0 && graph.nodes.size() > kChunkNodes) {
+        chunk_span.emplace("explore.chunk", "petri");
+        chunk_span->arg("head", head);
+        chunk_span->arg("frontier", graph.nodes.size() - head);
       }
-      graph.edges[head].push_back({it->second, t});
-      ++stats.edges;
-      if (graph.stopped) break;
+      stats.frontier_peak =
+          std::max(stats.frontier_peak, graph.nodes.size() - head);
+      const Config current = graph.nodes[head];
+      for (std::size_t t = 0; t < net.num_transitions(); ++t) {
+        if (!net.enabled(t, current)) continue;
+        Config next = net.fire(t, current);
+        ++stats.probes;
+        auto it = ids.find(next);
+        if (it == ids.end()) {
+          if (graph.nodes.size() >= limits.max_nodes) {
+            graph.truncated = true;
+            continue;
+          }
+          it = ids.emplace(std::move(next), graph.nodes.size()).first;
+          note_insertion(it->first);
+          graph.nodes.push_back(it->first);
+          graph.edges.emplace_back();
+          graph.parent.push_back(head);
+          graph.parent_transition.push_back(t);
+          if (stop && stop(it->first)) {
+            graph.stopped = graph.nodes.size() - 1;
+          }
+        }
+        graph.edges[head].push_back({it->second, t});
+        ++stats.edges;
+        if (graph.stopped) break;
+      }
     }
   }
   stats.configs = graph.nodes.size();
   stats.truncated = graph.truncated;
+  span.arg("configs", stats.configs);
+  span.arg("edges", stats.edges);
   obs::MetricRegistry& registry = obs::MetricRegistry::global();
   if (registry.enabled()) {
     registry.add("explore.configs", stats.configs);

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "petri/config.h"
 #include "petri/petri_net.h"
 #include "petri/reachability.h"
@@ -84,6 +86,7 @@ ExpectedTimeResult expected_interactions_to_silence(
     const core::Protocol& protocol, const std::vector<core::Count>& input,
     std::size_t max_configs) {
   obs::ScopedTimer timer("expected_time");
+  obs::ScopedSpan span("expected_time", "sim");
   ExpectedTimeResult result;
   // Every exit path reports the same summary counters; the lambda
   // keeps the early returns (truncated / oversized block / singular)
@@ -117,19 +120,25 @@ ExpectedTimeResult expected_interactions_to_silence(
   // graph is untruncated, so every enabled transition of every node
   // has its edge and the per-node weights sum to W(c).
   std::vector<std::vector<long double>> edge_probability(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    long double total = 0.0L;
-    edge_probability[i].reserve(graph.edges[i].size());
-    for (const petri::ReachEdge& edge : graph.edges[i]) {
-      const long double w =
-          instance_weight(net.transition(edge.transition), graph.nodes[i]);
-      edge_probability[i].push_back(w);
-      total += w;
+  {
+    obs::ScopedSpan weights_span("expected_time.weights", "sim");
+    for (std::size_t i = 0; i < n; ++i) {
+      long double total = 0.0L;
+      edge_probability[i].reserve(graph.edges[i].size());
+      for (const petri::ReachEdge& edge : graph.edges[i]) {
+        const long double w =
+            instance_weight(net.transition(edge.transition), graph.nodes[i]);
+        edge_probability[i].push_back(w);
+        total += w;
+      }
+      for (long double& p : edge_probability[i]) p /= total;
     }
-    for (long double& p : edge_probability[i]) p /= total;
   }
 
-  const petri::SccDecomposition scc = petri::scc_decompose(graph);
+  const petri::SccDecomposition scc = [&graph] {
+    obs::ScopedSpan scc_span("expected_time.scc", "sim");
+    return petri::scc_decompose(graph);
+  }();
   std::vector<std::vector<std::size_t>> members(scc.count);
   for (std::size_t i = 0; i < n; ++i) {
     members[scc.component[i]].push_back(i);
@@ -154,6 +163,13 @@ ExpectedTimeResult expected_interactions_to_silence(
     if (m > kMaxDenseComponent) {
       publish();
       return result;
+    }
+    // Solve spans only for nontrivial blocks: a chain can have tens of
+    // thousands of singleton SCCs, and their "solves" are a few adds.
+    std::optional<obs::ScopedSpan> solve_span;
+    if (m >= 2) {
+      solve_span.emplace("expected_time.solve", "sim");
+      solve_span->arg("scc_size", m);
     }
     result.pivots += m;
     for (std::size_t li = 0; li < m; ++li) local[nodes[li]] = li;

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 namespace ppsc {
@@ -22,6 +23,10 @@ RunOutcome run_agent_path(const PairRuleTable& table,
                           const core::Protocol& protocol,
                           const core::Config& initial,
                           const RunOptions& options, std::uint64_t seed) {
+  // One span per run, recorded on whichever worker thread executed it
+  // -- the per-thread tracks in a Perfetto view of a parallel sweep.
+  obs::ScopedSpan span("sim.run", "sim");
+  span.arg("seed", seed);
   AgentSimulator simulator(table, initial, seed);
   const std::uint64_t interval =
       std::max<std::uint64_t>(1, options.silence_check_interval);
@@ -38,15 +43,19 @@ RunOutcome run_agent_path(const PairRuleTable& table,
   outcome.steps = simulator.steps();
   outcome.output = summarize_output(protocol, simulator.census());
   simulator.publish_metrics();
+  span.arg("steps", outcome.steps);
   return outcome;
 }
 
 RunOutcome run_count_path(const core::Protocol& protocol,
                           const std::vector<core::Count>& input,
                           const RunOptions& options, std::uint64_t seed) {
+  obs::ScopedSpan span("sim.run", "sim");
+  span.arg("seed", seed);
   RunOptions per_run = options;
   per_run.seed = seed;
   const SilenceRun run = run_to_silence(protocol, input, per_run);
+  span.arg("steps", run.steps);
   return {run.silent, run.steps, run.final_output};
 }
 
@@ -55,6 +64,8 @@ RunOutcome run_count_path(const core::Protocol& protocol,
 ConvergenceStats measure_convergence_parallel(
     const core::ConstructedProtocol& cp, const std::vector<core::Count>& input,
     std::size_t runs, const RunOptions& options, unsigned num_threads) {
+  obs::ScopedSpan sweep_span("sim.sweep", "sim");
+  sweep_span.arg("runs", runs);
   const bool expected = cp.predicate(input);
   const core::Config initial = cp.protocol.initial_config(input);
   // Compiled once, shared read-only by every worker.

@@ -1,5 +1,6 @@
 #include "sim/trace.h"
 
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 namespace ppsc {
@@ -24,6 +25,8 @@ CensusTrace record_census_trace(const core::Protocol& protocol,
                                 const std::vector<core::Count>& input,
                                 std::uint64_t max_steps, std::uint64_t seed) {
   CensusTrace trace;
+  obs::ScopedSpan span("sim.trace", "sim");
+  span.arg("seed", seed);
   const core::Config initial = protocol.initial_config(input);
   const std::optional<PairRuleTable> table = PairRuleTable::build(protocol);
 
@@ -50,13 +53,19 @@ CensusTrace record_census_trace(const core::Protocol& protocol,
     }
   };
 
+  // Both schedulers publish their run totals (sim.agent.* /
+  // sim.count.*), so census traces contribute to bench reports the
+  // same way sweep runs do.
   if (table) {
     AgentSimulator simulator(*table, initial, seed);
     drive(simulator);
+    simulator.publish_metrics();
   } else {
     CountSimulator simulator(protocol, initial, seed);
     drive(simulator);
+    simulator.publish_metrics();
   }
+  span.arg("steps", trace.total_steps);
   return trace;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "petri/reachability.h"
 
 namespace ppsc {
@@ -34,6 +35,7 @@ Verdict check_input(const core::Protocol& protocol,
                     const std::vector<core::Count>& input,
                     const CheckOptions& options) {
   obs::ScopedTimer timer("verify");
+  obs::ScopedSpan span("verify", "verify");
   Verdict verdict;
   verdict.input = input;
 
@@ -52,8 +54,11 @@ Verdict check_input(const core::Protocol& protocol,
   // still accepted and nothing is recorded past the cap.
   petri::ExploreLimits limits;
   limits.max_nodes = options.max_configs;
-  const petri::ReachabilityGraph graph = petri::explore(
-      petri::PetriNet(protocol.net()), {petri::Config(initial)}, limits);
+  const petri::ReachabilityGraph graph = [&] {
+    obs::ScopedSpan explore_span("verify.explore", "verify");
+    return petri::explore(petri::PetriNet(protocol.net()),
+                          {petri::Config(initial)}, limits);
+  }();
   if (graph.truncated) {
     throw std::runtime_error(
         "verify::check_input: reachability graph exceeds " +
@@ -67,7 +72,11 @@ Verdict check_input(const core::Protocol& protocol,
     registry.add("verify.reachable_configs", graph.nodes.size());
   }
   std::uint64_t bottom_configs = 0;
-  const petri::SccDecomposition scc = petri::scc_decompose(graph);
+  const petri::SccDecomposition scc = [&graph] {
+    obs::ScopedSpan scc_span("verify.scc", "verify");
+    return petri::scc_decompose(graph);
+  }();
+  obs::ScopedSpan unanimity_span("verify.unanimity", "verify");
   for (std::size_t u = 0; u < graph.nodes.size(); ++u) {
     if (!scc.bottom[scc.component[u]]) continue;
     ++bottom_configs;

@@ -77,6 +77,56 @@ TEST(ObsHistogram, MergeIsBucketwiseSum) {
   EXPECT_EQ(a.buckets[2], 2u);  // both 3s
 }
 
+TEST(ObsHistogram, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram zeros;
+  zeros.record(0);
+  zeros.record(0);
+  EXPECT_EQ(zeros.quantile(0.5), 0.0);
+  EXPECT_EQ(zeros.quantile(0.99), 0.0);
+
+  // A power of two is its bucket's lower edge, and the upper edge
+  // clamps to max == lower: every quantile is the exact value.
+  Histogram exact;
+  exact.record(4);
+  EXPECT_EQ(exact.quantile(0.5), 4.0);
+  EXPECT_EQ(exact.quantile(0.99), 4.0);
+}
+
+TEST(ObsHistogram, QuantileInterpolatesWithinBucket) {
+  // One value 5 in bucket [4, 8), upper edge clamped to max = 5:
+  // quantile(q) = 4 + q * (5 - 4).
+  Histogram h;
+  h.record(5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+
+  // Four 1s and one 100: p50's rank 2.5 falls in bucket [1, 2) at
+  // fraction 2.5/4; p99's rank 4.95 falls in [64, 128) clamped to
+  // [64, 100] at fraction 0.95.
+  Histogram skewed;
+  for (int i = 0; i < 4; ++i) skewed.record(1);
+  skewed.record(100);
+  EXPECT_DOUBLE_EQ(skewed.quantile(0.5), 1.0 + 2.5 / 4.0);
+  EXPECT_DOUBLE_EQ(skewed.quantile(0.99), 64.0 + 36.0 * 0.95);
+}
+
+TEST(ObsHistogram, QuantileNeverExceedsRecordedMax) {
+  Histogram h;
+  h.record(3);
+  h.record(9);
+  h.record(1000);
+  double previous = 0.0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double estimate = h.quantile(q);
+    EXPECT_LE(estimate, static_cast<double>(h.max));
+    EXPECT_GE(estimate, previous);  // monotone in q
+    previous = estimate;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // JSON escaping and writer
 // ---------------------------------------------------------------------------
@@ -228,13 +278,16 @@ TEST(ObsRegistry, SnapshotJsonShape) {
   registry.set_enabled(true);
   registry.add("b.counter", 2);
   registry.add("a.counter", 1);
-  registry.record("h", 5);
+  registry.record("h", 4);
   const std::string json = registry.snapshot().to_json();
   registry.set_enabled(false);
+  // Value 4 sits on its bucket's lower edge with the upper edge
+  // clamped to max, so the p50/p90/p99 estimates are exactly 4 and the
+  // pinned string stays free of long %.17g fractions.
   EXPECT_EQ(json,
             "{\"counters\":{\"a.counter\":1,\"b.counter\":2},"
-            "\"histograms\":{\"h\":{\"count\":1,\"sum\":5,\"max\":5,"
-            "\"buckets\":[[4,1]]}}}");
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":4,\"max\":4,"
+            "\"p50\":4,\"p90\":4,\"p99\":4,\"buckets\":[[4,1]]}}}");
 }
 
 // ---------------------------------------------------------------------------
@@ -350,22 +403,32 @@ TEST(ObsReport, SchemaIsPinned) {
   // scripts/bench_report.sh and downstream tooling rely on.
   EXPECT_EQ(json.find("{\"bench\":\"schema_probe\",\"git_rev\":\""), 0u);
   const std::size_t rev_pos = json.find("\"git_rev\":");
+  const std::size_t threads_pos = json.find("\"threads\":");
+  const std::size_t obs_pos = json.find("\"obs_compiled\":");
   const std::size_t wall_pos = json.find("\"wall_ms\":");
   const std::size_t items_pos = json.find("\"items_per_sec\":");
   const std::size_t counters_pos = json.find("\"counters\":{");
   const std::size_t histograms_pos = json.find("\"histograms\":{");
   ASSERT_NE(rev_pos, std::string::npos);
+  ASSERT_NE(threads_pos, std::string::npos);
+  ASSERT_NE(obs_pos, std::string::npos);
   ASSERT_NE(wall_pos, std::string::npos);
   ASSERT_NE(items_pos, std::string::npos);
   ASSERT_NE(counters_pos, std::string::npos);
   ASSERT_NE(histograms_pos, std::string::npos);
-  EXPECT_LT(rev_pos, wall_pos);
+  EXPECT_LT(rev_pos, threads_pos);
+  EXPECT_LT(threads_pos, obs_pos);
+  EXPECT_LT(obs_pos, wall_pos);
   EXPECT_LT(wall_pos, items_pos);
   EXPECT_LT(items_pos, counters_pos);
   EXPECT_LT(counters_pos, histograms_pos);
   EXPECT_EQ(json.back(), '\n');
+  // The metadata after `bench` is wall-clock-free by design; a date
+  // stamp would make every baseline regeneration a spurious diff.
+  EXPECT_EQ(json.find("\"date\""), std::string::npos);
 
 #if PPSC_OBS_ENABLED
+  EXPECT_NE(json.find("\"obs_compiled\":true"), std::string::npos);
   // The registry was enabled by the Report constructor, so the probe
   // metrics (and the flattened histogram triple) are in `counters`.
   EXPECT_NE(json.find("\"probe.counter\":3"), std::string::npos);
@@ -373,11 +436,44 @@ TEST(ObsReport, SchemaIsPinned) {
   EXPECT_NE(json.find("\"probe.hist.sum\":4"), std::string::npos);
   EXPECT_NE(json.find("\"probe.hist.max\":4"), std::string::npos);
   EXPECT_NE(json.find("\"probe.hist\":{\"count\":1,\"sum\":4,\"max\":4,"
-                      "\"buckets\":[[4,1]]}"),
+                      "\"p50\":4,\"p90\":4,\"p99\":4,\"buckets\":[[4,1]]}"),
             std::string::npos);
 #endif
   std::remove(path.c_str());
 }
+
+#if PPSC_OBS_ENABLED
+
+TEST(ObsReport, DumpSnapshotWhenEnvRequests) {
+  // PPSC_OBS_DUMP=<path> makes any binary write its final registry
+  // snapshot at exit; the exit hook calls write_snapshot_if_requested,
+  // exercised here directly (the atexit registration itself happens in
+  // the registry constructor, which already ran for this process).
+  const std::string path = testing::TempDir() + "/ppsc_obs_dump.json";
+  std::remove(path.c_str());
+  MetricRegistry& registry = MetricRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+  registry.add("dump.probe", 11);
+  ASSERT_EQ(setenv("PPSC_OBS_DUMP", path.c_str(), 1), 0);
+  EXPECT_TRUE(ppsc::obs::write_snapshot_if_requested());
+  ASSERT_EQ(unsetenv("PPSC_OBS_DUMP"), 0);
+  registry.set_enabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "snapshot not written to " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"dump.probe\":11"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsReport, DumpIsInertWithoutEnv) {
+  ASSERT_EQ(unsetenv("PPSC_OBS_DUMP"), 0);
+  EXPECT_FALSE(ppsc::obs::write_snapshot_if_requested());
+}
+
+#endif  // PPSC_OBS_ENABLED
 
 TEST(ObsReport, InertWithoutEnv) {
   const std::string path =
