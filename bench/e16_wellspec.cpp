@@ -9,12 +9,14 @@
 #include <cstdio>
 
 #include "core/constructions.h"
+#include "report.h"
 #include "util/table.h"
 #include "verify/wellspec.h"
 
 int main() {
   using ppsc::core::Count;
 
+  ppsc::bench::Report report("e16_wellspec");
   std::printf("E16: well-specification and predicate extraction\n\n");
   ppsc::util::TablePrinter table({"protocol", "inputs", "well-specified",
                                   "extracted values (x=0,1,2,...)",
@@ -36,6 +38,7 @@ int main() {
   for (auto& job : jobs) {
     auto result = ppsc::verify::check_well_specification_up_to(
         job.constructed.protocol, job.bound);
+    report.add_items(static_cast<double>(result.verdicts.size()));
     std::string values;
     bool matches = true;
     for (const auto& verdict : result.verdicts) {
@@ -76,6 +79,7 @@ int main() {
     builder.rule("N + i -> N + N");
     auto racy = builder.build();
     auto result = ppsc::verify::check_well_specification_up_to(racy, 5);
+    report.add_items(static_cast<double>(result.verdicts.size()));
     std::string values;
     for (const auto& verdict : result.verdicts) {
       values += verdict.value.has_value() ? (*verdict.value ? "1" : "0") : "?";

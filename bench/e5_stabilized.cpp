@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bounds/formulas.h"
+#include "report.h"
 #include "util/table.h"
 #include "verify/stabilized.h"
 
@@ -17,6 +18,7 @@ int main() {
   using ppsc::petri::Config;
   using ppsc::petri::PetriNet;
 
+  ppsc::bench::Report report("e5_stabilized");
   std::printf("E5: Lemma 5.4 effective thresholds vs formula\n\n");
   ppsc::util::TablePrinter table({"net", "d", "norm T", "stabilized rho",
                                   "min effective h", "log2 formula h"});
@@ -56,6 +58,7 @@ int main() {
   }
 
   for (auto& test_case : cases) {
+    report.add_items(1);
     bool stabilized = ppsc::verify::is_stabilized(test_case.net, test_case.rho,
                                                   test_case.f_mask);
     auto h = ppsc::verify::minimal_effective_h(

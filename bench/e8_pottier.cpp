@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "report.h"
 #include "solver/diophantine.h"
 #include "solver/multicycle.h"
 #include "util/rng.h"
@@ -35,6 +36,7 @@ HomogeneousSystem random_system(std::size_t vars, std::size_t rows,
 }  // namespace
 
 int main() {
+  ppsc::bench::Report report("e8_pottier");
   std::printf("E8 part 1: Hilbert basis norms vs Pottier bound\n\n");
   ppsc::util::TablePrinter part1({"vars", "rows", "systems", "max basis size",
                                   "max log2 |x|_1", "log2 bound", "holds"});
@@ -48,6 +50,7 @@ int main() {
       bool all_hold = true;
       const int kSystems = 15;
       for (int i = 0; i < kSystems; ++i) {
+        report.add_items(1);
         auto system = random_system(vars, rows, rng);
         auto result = ppsc::solver::hilbert_basis(system);
         if (!result.complete) continue;
@@ -89,6 +92,7 @@ int main() {
   std::vector<bool> q_mask{true, true, false};
   double log2_bound = ppsc::solver::log2_lemma73_length_bound(cnet);
   for (std::uint64_t scale : {10, 100, 1000, 10000}) {
+    report.add_items(1);
     // scale pump cycles + scale/2 drain cycles.
     std::vector<std::uint64_t> theta{scale + scale / 2, scale, scale / 2};
     auto replacement =

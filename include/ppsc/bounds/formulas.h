@@ -38,6 +38,9 @@
 #ifndef PPSC_BOUNDS_FORMULAS_H
 #define PPSC_BOUNDS_FORMULAS_H
 
+#include <cstddef>
+#include <cstdint>
+
 #include "bounds/biguint.h"
 
 namespace ppsc {
@@ -64,6 +67,12 @@ double bej_log_states(double log2_n);
 // Lemma 5.3: d^d * log2(r + t + 2), the log2 of the Rackoff-style cap
 // on shortest covering sequences (r = ||rho||_inf, t = ||T||_inf).
 double log2_rackoff_bound(double r, double t, double d);
+
+// Lemma 5.4: log2 of the truncation threshold
+// h = ||T||_inf * (1 + ||T||_inf)^(d^d), i.e.
+// log2(t) + d^d * log2(1 + t); 0 when t == 0 (no transitions means
+// every configuration is stabilized and any h works).
+double log2_lemma54_h(std::uint64_t norm_t, std::size_t d);
 
 // Theorem 6.1: (d+1)^(d+1) * log2(t + r + 2), the log2 of the witness
 // length bound b.

@@ -60,6 +60,15 @@ ConstructedProtocol threshold_belief(Count n);
 // passive agents. m + 2 states, width 2, leaderless.
 ConstructedProtocol modulo_counting(Count m, Count r);
 
+// Weighted threshold over a |weights|-dimensional input: stably computes
+// (sum_i weights[i] * x[i] >= threshold). Agents carry partial sums
+// capped at `threshold`; a pair whose values reach the threshold turns
+// into the sticky accepting state, which then spreads. threshold + 1
+// states, width 2, leaderless. Throws on empty weights, a negative
+// weight, or threshold < 1.
+ConstructedProtocol weighted_threshold(const std::vector<Count>& weights,
+                                       Count threshold);
+
 // Exact majority over a two-dimensional input (a, b): the classical
 // 4-state protocol with the tie rule a + b -> b + b, so ties decide 0.
 // Stably computes (a > b).

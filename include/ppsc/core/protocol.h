@@ -73,6 +73,10 @@ class PetriNet {
 
 class ProtocolBuilder;
 
+// Named output bit for the declarative builder spelling
+// (state("Y", Output::kOne)); equivalent to add_state's bool.
+enum class Output { kZero = 0, kOne = 1 };
+
 // An immutable population protocol. Build one with ProtocolBuilder.
 class Protocol {
  public:
@@ -137,10 +141,19 @@ class ProtocolBuilder {
   void add_pair_rule(const std::string& name, std::size_t a, std::size_t b,
                      std::size_t c, std::size_t d);
 
+  // Declarative by-name spellings for one-off protocols (bench E16's
+  // racy-consensus example). `rule` parses exactly the width-2 shape
+  // "a + b -> c + d" -- state names therefore must not contain '+' or
+  // "->". Unknown names and malformed specs throw std::invalid_argument.
+  std::size_t state(const std::string& name, Output output);
+  void initial(const std::string& name);
+  void rule(const std::string& spec);
+
   Protocol build();
 
  private:
   void check_state(std::size_t state, const std::string& rule) const;
+  std::size_t state_id(const std::string& name, const std::string& where) const;
 
   Protocol protocol_;
   std::vector<Transition> pending_;

@@ -56,8 +56,10 @@ class PairRuleTable {
 
   // Compiles `protocol` into a pair table. Returns std::nullopt when the
   // net is not deterministic pairwise: some transition has width != 2,
-  // or two transitions share a pre pair (the count scheduler remains the
-  // fallback for both cases, with the same productive-step law).
+  // or two transitions share a pre pair *with different outcomes* (a
+  // duplicated identical transition is still deterministic and compiles;
+  // the count scheduler remains the fallback for the genuinely
+  // nondeterministic cases, with the same productive-step law).
   static std::optional<PairRuleTable> build(const core::Protocol& protocol);
 
   std::size_t num_states() const { return num_states_; }

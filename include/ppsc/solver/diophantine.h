@@ -1,0 +1,82 @@
+// Pottier-style minimal-support solver for homogeneous integer systems
+// (the Hilbert basis of A x = 0, x >= 0).
+//
+// The Hilbert basis of a homogeneous system is the set of its minimal
+// nonzero nonnegative integer solutions under the componentwise order;
+// every solution is a nonnegative integer combination of basis
+// elements. Pottier's bound [12 in the paper] caps the l1-norm of every
+// basis element by (2 + sum_j ||a_j||_inf)^d with d the number of
+// variables, which is what makes the Lemma 7.3 multicycle replacement
+// (solver/multicycle.h) finite and small: the replacement multicycle is
+// a basis element of the circulation system of the control graph.
+//
+// Conventions:
+//
+//  * hilbert_basis runs the Contejean-Devie completion: the frontier
+//    starts at the unit vectors and a vector t grows by +e_i only in
+//    directions with <A t, A e_i> < 0 (strictly toward the kernel),
+//    pruning every vector that dominates an already-found solution.
+//    With the default options the enumeration closes and `complete` is
+//    true: the basis is exactly the Hilbert basis. When a cap is hit
+//    (max_nodes frontier pops or max_norm on a vector's l1-norm),
+//    `complete` is false and the basis is a sound under-approximation
+//    -- every returned element is a genuine minimal solution, some may
+//    be missing. Callers must gate completeness-dependent conclusions
+//    on the flag (bench E8 skips incomplete systems).
+//  * The zero solution is never part of the basis; a system with no
+//    nonzero nonnegative solution has an empty basis with `complete`
+//    true (e.g. a row with all-positive coefficients).
+//  * Duplicate or all-zero rows are allowed; an all-zero system's basis
+//    is the unit vectors.
+
+#ifndef PPSC_SOLVER_DIOPHANTINE_H
+#define PPSC_SOLVER_DIOPHANTINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppsc {
+namespace solver {
+
+// A x = 0 with integer coefficients; each row has num_vars entries.
+struct HomogeneousSystem {
+  std::size_t num_vars = 0;
+  std::vector<std::vector<std::int64_t>> rows;
+};
+
+struct HilbertOptions {
+  // Frontier vectors examined before giving up (completeness lost).
+  std::uint64_t max_nodes = 1u << 20;
+  // l1-norm cap per frontier vector (completeness lost when a vector
+  // would exceed it).
+  std::uint64_t max_norm = 1u << 12;
+};
+
+struct HilbertBasisResult {
+  // Minimal nonzero solutions, in discovery order.
+  std::vector<std::vector<std::uint64_t>> basis;
+  // True iff the completion closed without hitting a cap, i.e. `basis`
+  // is the full Hilbert basis.
+  bool complete = false;
+  // Frontier vectors examined (the solver.hilbert.nodes counter).
+  std::uint64_t nodes = 0;
+};
+
+// Hilbert basis of `system` by bounded Contejean-Devie completion.
+// Throws std::invalid_argument on a row whose size != num_vars.
+HilbertBasisResult hilbert_basis(const HomogeneousSystem& system,
+                                 const HilbertOptions& options = {});
+
+// Sum of entries (the norm Pottier's bound caps).
+std::uint64_t norm_l1(const std::vector<std::uint64_t>& x);
+
+// log2 of Pottier's bound (2 + sum_j ||a_j||_inf)^d, d = num_vars:
+// every minimal solution x of the system satisfies
+// log2 ||x||_1 <= log2_pottier_bound(system).
+double log2_pottier_bound(const HomogeneousSystem& system);
+
+}  // namespace solver
+}  // namespace ppsc
+
+#endif  // PPSC_SOLVER_DIOPHANTINE_H

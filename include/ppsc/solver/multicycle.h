@@ -34,6 +34,9 @@ struct Multicycle {
   std::vector<std::uint64_t> parikh;
   // Total number of edge instances, |Theta'|.
   std::uint64_t length = 0;
+  // Net token effect on the underlying places (the quantity whose signs
+  // Lemma 7.3 preserves); equals cnet.displacement(parikh).
+  std::vector<petri::Count> displacement;
   // Realization as one closed walk (Euler circuit of the support
   // multigraph) when the support is connected; nullopt otherwise.
   std::optional<std::vector<std::size_t>> walk;
@@ -48,6 +51,13 @@ struct Multicycle {
 std::optional<Multicycle> small_multicycle(
     const petri::ControlStateNet& cnet, const std::vector<std::uint64_t>& phi,
     const std::vector<bool>& q_mask, std::uint64_t k);
+
+// log2 of Lemma 7.3's cap on the replacement length |Theta'|, in the
+// reproduction's convention:
+// (|E| + |P|) * log2(2 + |S| + |P| * ||T||_inf), with E the control
+// edges, S the control states, P the underlying places and T their
+// Petri net. Bench E8 checks measured replacement lengths against it.
+double log2_lemma73_length_bound(const petri::ControlStateNet& cnet);
 
 }  // namespace solver
 }  // namespace ppsc

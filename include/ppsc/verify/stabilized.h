@@ -1,0 +1,83 @@
+// Stabilization certificates (the Section 5 / Lemma 5.4 semantics).
+//
+// Fix a net T over d states and a set F of accepting states (f_mask).
+// A configuration rho is *stabilized* iff no configuration reachable
+// from rho puts a token on a state outside F -- the paper's notion of
+// a configuration that has already committed to its consensus. Unlike
+// the exhaustive checker in verify/stable.h, the decision here is a
+// *certificate* query: one petri/coverability backward fixpoint per
+// non-accepting state q computes the minimal basis of the upward-closed
+// set of markings from which q is coverable, and rho is stabilized iff
+// it covers no basis element. The bases are finite (Dickson), so the
+// certificate decides stabilization for *every* configuration at once,
+// not just the explored ones -- this is the semantic difference between
+// the two verify engines, spelled out in docs/verification.md.
+//
+// Lemma 5.4 says the stabilized set is characterized by small values:
+// there is a threshold h (the paper proves
+// h = ||T||_inf * (1 + ||T||_inf)^(d^d) suffices, see
+// bounds::log2_lemma54_h) such that rho is stabilized iff its
+// h-truncation min(rho, h) is. minimal_effective_h searches for the
+// smallest such h empirically, which bench E5 tabulates against the
+// formula -- the measured h is tiny, the lemma's is a worst case.
+
+#ifndef PPSC_VERIFY_STABILIZED_H
+#define PPSC_VERIFY_STABILIZED_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "petri/petri_net.h"
+
+namespace ppsc {
+namespace verify {
+
+// The backward-coverability certificate: for each non-accepting state,
+// the minimal basis of markings from which that state can be covered.
+// Once built, stabilization of any configuration is a basis scan --
+// no further exploration.
+struct StabilizationCertificate {
+  std::size_t num_states = 0;
+  // States outside F, in ascending order.
+  std::vector<std::size_t> bad_states;
+  // bases[i]: minimal markings from which bad_states[i] is coverable
+  // (petri::backward_basis of the unit marking on that state).
+  std::vector<std::vector<petri::Config>> bases;
+
+  // True iff rho covers no basis element, i.e. no reachable
+  // configuration ever marks a non-accepting state.
+  bool stabilized(const petri::Config& rho) const;
+};
+
+// Builds the certificate: one backward fixpoint per non-accepting
+// state. f_mask[q] == true marks q as accepting; its size must equal
+// net.num_states(). `max_basis` is the coverability safety valve.
+StabilizationCertificate stabilization_certificate(
+    const petri::PetriNet& net, const std::vector<bool>& f_mask,
+    std::size_t max_basis = 1u << 22);
+
+// One-shot query: is rho stabilized w.r.t. F? Equivalent to
+// stabilization_certificate(net, f_mask).stabilized(rho); prefer the
+// certificate when querying many configurations.
+bool is_stabilized(const petri::PetriNet& net, const petri::Config& rho,
+                   const std::vector<bool>& f_mask);
+
+// Smallest h in [1, limit] such that truncation at h preserves the
+// stabilized verdict on every probed configuration: all sigma with
+// entries <= h + probe_height (plus every seed, whatever its size)
+// satisfy stabilized(sigma) == stabilized(min(sigma, h)). Returns
+// std::nullopt when no h <= limit passes. The probe box is enumerated
+// exhaustively -- (h + probe_height + 1)^d configurations per
+// candidate -- so this is for the small nets E5 measures; throws
+// std::invalid_argument when the box would exceed 2^24 configurations.
+std::optional<std::uint64_t> minimal_effective_h(
+    const petri::PetriNet& net, const std::vector<petri::Config>& seeds,
+    const std::vector<bool>& f_mask, std::uint64_t limit,
+    std::uint64_t probe_height);
+
+}  // namespace verify
+}  // namespace ppsc
+
+#endif  // PPSC_VERIFY_STABILIZED_H

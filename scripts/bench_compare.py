@@ -18,7 +18,12 @@ two bench families:
 
 Timing comparisons are deliberately loose (default: fail only when a
 bench gets >50% slower) because CI machines are noisy; the exact
-counter invariants are the sharp edge of the gate. Exit status is 0
+counter invariants are the sharp edge of the gate. File presence is
+part of the contract too: a committed baseline with no fresh
+counterpart (bench skipped, renamed, or crashed before writing) is
+always a failing INVARIANT row, and under --strict a fresh report
+without a committed baseline is as well -- coverage changes must not
+hide behind a warning line. Exit status is 0
 unless --strict is given, in which case any regression or invariant
 violation exits 1 -- CI runs with --strict inside a non-blocking step
 so regressions are reported on every run without gating merges on
@@ -187,7 +192,15 @@ def main():
         with open(path) as f:
             fresh = json.load(f)
         if not os.path.exists(base_path):
-            warnings.append(f"{name}: no committed baseline (new bench?)")
+            # A fresh report without a baseline is benign while a bench
+            # is being added, but under --strict the baseline set is the
+            # contract: flag it as drift so it cannot land unnoticed.
+            if args.strict:
+                bench = name[len("BENCH_"):-len(".json")]
+                rows.append(Row(bench, "presence", "absent", "present",
+                                "INVARIANT", "no committed baseline"))
+            else:
+                warnings.append(f"{name}: no committed baseline (new bench?)")
             continue
         with open(base_path) as f:
             base = json.load(f)
@@ -204,8 +217,14 @@ def main():
                                                    "BENCH_*.json"))):
         name = os.path.basename(base_path)
         if name not in seen:
-            warnings.append(f"{name}: baseline has no fresh counterpart "
-                            "(bench skipped or removed)")
+            # A committed baseline whose bench produced nothing means
+            # coverage silently shrank (bench skipped, renamed, or its
+            # binary failed before writing) -- that is drift, not noise,
+            # so it is a failing row rather than a warning.
+            bench = name[len("BENCH_"):-len(".json")]
+            rows.append(Row(bench, "presence", "present", "absent",
+                            "INVARIANT",
+                            "baseline has no fresh counterpart"))
 
     bad = [r for r in rows if r.status in ("REGRESS", "INVARIANT")]
     # The full table is the artifact; stdout gets only the problems plus

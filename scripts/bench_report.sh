@@ -180,9 +180,10 @@ run_gbench_bench() {
 
 # Keep in sync with PPSC_BENCH_BUILDABLE in CMakeLists.txt.
 for name in \
-    e1_landscape e2_example41 e3_example42 e4_rackoff e6_bottom e7_euler \
-    e9_theorem43 e10_corollary44 e12_convergence e14_width_ablation \
-    e15_scheduler_ablation e17_boolean_closure e18_exact_convergence \
+    e1_landscape e2_example41 e3_example42 e4_rackoff e5_stabilized \
+    e6_bottom e7_euler e8_pottier e9_theorem43 e10_corollary44 \
+    e12_convergence e14_width_ablation e15_scheduler_ablation \
+    e16_wellspec e17_boolean_closure e18_exact_convergence \
     e19_census_profile; do
   run_report_bench "$name"
 done

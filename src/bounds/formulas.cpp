@@ -57,6 +57,14 @@ double log2_rackoff_bound(double r, double t, double d) {
   return std::pow(d, d) * std::log2(r + t + 2.0);
 }
 
+double log2_lemma54_h(std::uint64_t norm_t, std::size_t d) {
+  if (norm_t == 0) return 0.0;
+  const double t = static_cast<double>(norm_t);
+  return std::log2(t) + std::pow(static_cast<double>(d),
+                                 static_cast<double>(d)) *
+                            std::log2(1.0 + t);
+}
+
 double log2_theorem61_b(double t, double r, double d) {
   return std::pow(d + 1.0, d + 1.0) * std::log2(t + r + 2.0);
 }

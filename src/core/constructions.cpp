@@ -1,5 +1,6 @@
 #include "core/constructions.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -213,6 +214,66 @@ ConstructedProtocol modulo_counting(Count m, Count r) {
   p.arity = 1;
   p.fn = [m, r](const std::vector<Count>& x) { return x[0] % m == r; };
   return {"modulo", b.build(), p};
+}
+
+ConstructedProtocol weighted_threshold(const std::vector<Count>& weights,
+                                       Count threshold) {
+  if (weights.empty()) {
+    throw std::invalid_argument("weighted_threshold: weights must be nonempty");
+  }
+  for (Count w : weights) {
+    if (w < 0) {
+      throw std::invalid_argument("weighted_threshold: negative weight");
+    }
+  }
+  if (threshold < 1) {
+    throw std::invalid_argument("weighted_threshold: threshold must be >= 1");
+  }
+  ProtocolBuilder b;
+  // State v_k: an agent holding partial sum k; v_threshold is the sticky
+  // accepting state. The sum of held values is invariant under merges
+  // (below the threshold), so v_threshold appears iff the weighted input
+  // sum reaches the threshold.
+  std::vector<std::size_t> value(static_cast<std::size_t>(threshold) + 1);
+  for (Count v = 0; v <= threshold; ++v) {
+    value[static_cast<std::size_t>(v)] =
+        b.add_state("v" + count_str(v), v == threshold);
+  }
+  for (Count w : weights) {
+    b.add_input(value[static_cast<std::size_t>(std::min(w, threshold))]);
+  }
+  for (Count va = 0; va < threshold; ++va) {
+    for (Count vb = 0; vb <= va; ++vb) {
+      const Count sum = va + vb;
+      if (sum >= threshold) {
+        b.add_pair_rule("fire", value[static_cast<std::size_t>(va)],
+                        value[static_cast<std::size_t>(vb)],
+                        value[static_cast<std::size_t>(threshold)],
+                        value[static_cast<std::size_t>(threshold)]);
+      } else {
+        b.add_pair_rule("merge", value[static_cast<std::size_t>(va)],
+                        value[static_cast<std::size_t>(vb)],
+                        value[static_cast<std::size_t>(sum)], value[0]);
+      }
+    }
+  }
+  for (Count v = 0; v < threshold; ++v) {
+    b.add_pair_rule("spread", value[static_cast<std::size_t>(threshold)],
+                    value[static_cast<std::size_t>(v)],
+                    value[static_cast<std::size_t>(threshold)],
+                    value[static_cast<std::size_t>(threshold)]);
+  }
+  Predicate p;
+  p.name = "sum w_i x_i >= " + count_str(threshold);
+  p.arity = weights.size();
+  p.fn = [weights, threshold](const std::vector<Count>& x) {
+    Count total = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      total += weights[i] * x[i];
+    }
+    return total >= threshold;
+  };
+  return {"weighted threshold", b.build(), p};
 }
 
 ConstructedProtocol majority() {

@@ -162,6 +162,55 @@ void ProtocolBuilder::add_pair_rule(const std::string& name, std::size_t a,
   pending_.push_back(std::move(t));
 }
 
+namespace {
+
+std::string trim(const std::string& text) {
+  std::size_t first = text.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  std::size_t last = text.find_last_not_of(" \t");
+  return text.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+std::size_t ProtocolBuilder::state(const std::string& name, Output output) {
+  return add_state(name, output == Output::kOne);
+}
+
+void ProtocolBuilder::initial(const std::string& name) {
+  add_input(state_id(name, "<input>"));
+}
+
+void ProtocolBuilder::rule(const std::string& spec) {
+  const std::size_t arrow = spec.find("->");
+  if (arrow == std::string::npos) {
+    throw std::invalid_argument("ProtocolBuilder: rule '" + spec +
+                                "' has no '->'");
+  }
+  const auto parse_pair = [&](const std::string& side) {
+    const std::size_t plus = side.find('+');
+    if (plus == std::string::npos) {
+      throw std::invalid_argument("ProtocolBuilder: rule '" + spec +
+                                  "' side '" + side + "' is not a pair");
+    }
+    return std::make_pair(state_id(trim(side.substr(0, plus)), spec),
+                          state_id(trim(side.substr(plus + 1)), spec));
+  };
+  const auto pre = parse_pair(spec.substr(0, arrow));
+  const auto post = parse_pair(spec.substr(arrow + 2));
+  add_pair_rule(trim(spec), pre.first, pre.second, post.first, post.second);
+}
+
+std::size_t ProtocolBuilder::state_id(const std::string& name,
+                                      const std::string& where) const {
+  const auto it = protocol_.state_index_.find(name);
+  if (it == protocol_.state_index_.end()) {
+    throw std::invalid_argument("ProtocolBuilder: '" + where +
+                                "' references unknown state '" + name + "'");
+  }
+  return it->second;
+}
+
 void ProtocolBuilder::check_state(std::size_t state,
                                   const std::string& rule) const {
   if (state >= protocol_.state_names_.size()) {

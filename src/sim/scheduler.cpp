@@ -48,7 +48,12 @@ std::optional<PairRuleTable> PairRuleTable::build(
                                       std::uint32_t c,
                                       std::uint32_t d) -> bool {
       Outcome& cell = table.cells_[a * n + b];
-      if (cell.first != kNoRule) return false;  // nondeterministic pair
+      if (cell.first != kNoRule) {
+        // Re-registering the identical outcome is still deterministic
+        // (a protocol may list the same transition twice); only a pair
+        // mapped to two different outcomes is nondeterministic.
+        return cell.first == c && cell.second == d;
+      }
       cell.first = c;
       cell.second = d;
       return true;

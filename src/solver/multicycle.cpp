@@ -1,5 +1,6 @@
 #include "solver/multicycle.h"
 
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -45,6 +46,7 @@ std::optional<Multicycle> small_multicycle(
     small.length += small.parikh[e];
     anchor = cnet.edge(e).from;
   }
+  small.displacement = cnet.displacement(small.parikh);
   // Realize the replacement as one closed walk when the support is
   // connected (phi / gcd is still a circulation, so only connectivity
   // can fail).
@@ -56,6 +58,14 @@ std::optional<Multicycle> small_multicycle(
   small.walk = petri::euler_circuit(cnet.num_controls(), endpoints,
                                     small.parikh, anchor);
   return small;
+}
+
+double log2_lemma73_length_bound(const petri::ControlStateNet& cnet) {
+  const double edges = static_cast<double>(cnet.num_edges());
+  const double controls = static_cast<double>(cnet.num_controls());
+  const double places = static_cast<double>(cnet.net().num_states());
+  const double norm = static_cast<double>(cnet.net().norm_inf());
+  return (edges + places) * std::log2(2.0 + controls + places * norm);
 }
 
 }  // namespace solver

@@ -42,6 +42,37 @@ TEST(Protocol, BuilderRejectsUnknownStates) {
   EXPECT_THROW(b.add_leaders(A, -2), std::invalid_argument);
 }
 
+TEST(Protocol, BuilderStringApiParsesPairRules) {
+  core::ProtocolBuilder b;
+  b.state("i", core::Output::kZero);
+  b.state("Y", core::Output::kOne);
+  b.initial("i");
+  b.rule("i + i -> Y + Y");
+  b.rule("  Y +  i ->Y+ Y ");  // whitespace is insignificant
+  const core::Protocol p = b.build();
+  EXPECT_EQ(p.num_states(), 2u);
+  EXPECT_FALSE(p.output(0));
+  EXPECT_TRUE(p.output(1));
+  EXPECT_EQ(p.input_arity(), 1u);
+  EXPECT_EQ(p.input_state(0), 0u);
+  ASSERT_EQ(p.net().num_transitions(), 2u);
+  EXPECT_EQ(p.net().transition(0).pre, (std::vector<core::Count>{2, 0}));
+  EXPECT_EQ(p.net().transition(0).post, (std::vector<core::Count>{0, 2}));
+  EXPECT_EQ(p.net().transition(1).pre, (std::vector<core::Count>{1, 1}));
+  EXPECT_EQ(p.net().transition(1).post, (std::vector<core::Count>{0, 2}));
+}
+
+TEST(Protocol, BuilderStringApiRejectsBadSpecs) {
+  core::ProtocolBuilder b;
+  b.state("i", core::Output::kZero);
+  b.state("Y", core::Output::kOne);
+  EXPECT_THROW(b.initial("missing"), std::invalid_argument);
+  EXPECT_THROW(b.rule("i + i -> Y + Z"), std::invalid_argument);  // unknown
+  EXPECT_THROW(b.rule("i + i Y + Y"), std::invalid_argument);  // no arrow
+  EXPECT_THROW(b.rule("i -> Y"), std::invalid_argument);  // not a pair
+  EXPECT_THROW(b.rule("i + i -> Y"), std::invalid_argument);
+}
+
 TEST(Protocol, BuilderRejectsUseAfterBuild) {
   core::ProtocolBuilder b;
   const auto A = b.add_state("A", false);

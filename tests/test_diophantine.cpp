@@ -1,0 +1,162 @@
+// solver/diophantine: Hilbert bases by Contejean-Devie completion,
+// differentially tested against brute-force minimal solutions, plus the
+// Pottier norm bound and the completeness flag under caps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "solver/diophantine.h"
+#include "util/rng.h"
+
+namespace solver = ppsc::solver;
+
+namespace {
+
+using Vec = std::vector<std::uint64_t>;
+
+bool is_solution(const solver::HomogeneousSystem& system, const Vec& x) {
+  for (const auto& row : system.rows) {
+    std::int64_t sum = 0;
+    for (std::size_t v = 0; v < system.num_vars; ++v) {
+      sum += row[v] * static_cast<std::int64_t>(x[v]);
+    }
+    if (sum != 0) return false;
+  }
+  return true;
+}
+
+bool strictly_below(const Vec& x, const Vec& y) {
+  bool some_less = false;
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    if (x[v] > y[v]) return false;
+    if (x[v] < y[v]) some_less = true;
+  }
+  return some_less;
+}
+
+// All minimal nonzero solutions with every entry <= box. A solution
+// whose entries fit in the box is globally minimal iff it is minimal
+// among boxed solutions (any dominated witness also fits in the box),
+// so this set equals the Hilbert basis restricted to the box.
+std::vector<Vec> brute_force_minimal(const solver::HomogeneousSystem& system,
+                                     std::uint64_t box) {
+  std::vector<Vec> solutions;
+  Vec x(system.num_vars, 0);
+  while (true) {
+    std::size_t v = 0;
+    while (v < system.num_vars && x[v] == box) {
+      x[v] = 0;
+      ++v;
+    }
+    if (v == system.num_vars) break;
+    ++x[v];
+    if (is_solution(system, x)) solutions.push_back(x);
+  }
+  std::vector<Vec> minimal;
+  for (const Vec& candidate : solutions) {
+    bool dominated = false;
+    for (const Vec& other : solutions) {
+      if (strictly_below(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(candidate);
+  }
+  std::sort(minimal.begin(), minimal.end());
+  return minimal;
+}
+
+}  // namespace
+
+TEST(HilbertBasis, PinnedSingleEquation) {
+  // 2x - 3y = 0: the unique minimal solution is (3, 2).
+  solver::HomogeneousSystem system;
+  system.num_vars = 2;
+  system.rows = {{2, -3}};
+  const auto result = solver::hilbert_basis(system);
+  EXPECT_TRUE(result.complete);
+  ASSERT_EQ(result.basis.size(), 1u);
+  EXPECT_EQ(result.basis[0], (Vec{3, 2}));
+}
+
+TEST(HilbertBasis, AllPositiveRowHasEmptyBasis) {
+  // x + 2y = 0 has no nonzero nonnegative solution.
+  solver::HomogeneousSystem system;
+  system.num_vars = 2;
+  system.rows = {{1, 2}};
+  const auto result = solver::hilbert_basis(system);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.basis.empty());
+}
+
+TEST(HilbertBasis, EmptySystemBasisIsUnitVectors) {
+  solver::HomogeneousSystem system;
+  system.num_vars = 3;
+  const auto result = solver::hilbert_basis(system);
+  EXPECT_TRUE(result.complete);
+  std::vector<Vec> basis = result.basis;
+  std::sort(basis.begin(), basis.end());
+  EXPECT_EQ(basis,
+            (std::vector<Vec>{{0, 0, 1}, {0, 1, 0}, {1, 0, 0}}));
+}
+
+TEST(HilbertBasis, RejectsRowSizeMismatch) {
+  solver::HomogeneousSystem system;
+  system.num_vars = 3;
+  system.rows = {{1, -1}};
+  EXPECT_THROW(solver::hilbert_basis(system), std::invalid_argument);
+}
+
+TEST(HilbertBasis, CapYieldsIncompleteResult) {
+  solver::HomogeneousSystem system;
+  system.num_vars = 2;
+  system.rows = {{1, -1}};
+  solver::HilbertOptions options;
+  options.max_nodes = 1;
+  const auto result = solver::hilbert_basis(system, options);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(HilbertBasis, DifferentialAgainstBruteForce) {
+  // Random small systems: the basis restricted to a box must equal the
+  // brute-force minimal boxed solutions (see brute_force_minimal).
+  ppsc::util::Xoshiro256 rng(77);
+  const std::uint64_t kBox = 6;
+  for (int trial = 0; trial < 40; ++trial) {
+    solver::HomogeneousSystem system;
+    system.num_vars = 2 + trial % 2;  // 2 or 3 variables
+    const std::size_t rows = 1 + (trial / 2) % 2;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::vector<std::int64_t> row(system.num_vars);
+      for (auto& coefficient : row) {
+        coefficient = static_cast<std::int64_t>(rng.below(7)) - 3;
+      }
+      system.rows.push_back(std::move(row));
+    }
+    const auto result = solver::hilbert_basis(system);
+    ASSERT_TRUE(result.complete);
+
+    std::vector<Vec> boxed;
+    for (const Vec& element : result.basis) {
+      if (*std::max_element(element.begin(), element.end()) <= kBox) {
+        boxed.push_back(element);
+      }
+    }
+    std::sort(boxed.begin(), boxed.end());
+    EXPECT_EQ(boxed, brute_force_minimal(system, kBox))
+        << "trial " << trial;
+
+    // Every basis element is a solution and respects Pottier's bound.
+    const double bound = solver::log2_pottier_bound(system);
+    for (const Vec& element : result.basis) {
+      EXPECT_TRUE(is_solution(system, element));
+      EXPECT_LE(std::log2(static_cast<double>(solver::norm_l1(element))),
+                bound);
+    }
+  }
+}

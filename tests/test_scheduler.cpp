@@ -114,6 +114,37 @@ TEST(PairRuleTable, RejectsNonPairwiseNets) {
   EXPECT_FALSE(sim::PairRuleTable::build(destructive.protocol).has_value());
 }
 
+TEST(PairRuleTable, AcceptsDuplicateIdenticalRules) {
+  // Registering the same transition twice is deterministic: the cell
+  // already holds exactly this outcome. Regression for the bug where
+  // any occupied cell was treated as a conflict, kicking protocols off
+  // the agent fast path.
+  core::ProtocolBuilder b;
+  const auto A = b.add_state("A", false);
+  const auto B = b.add_state("B", true);
+  b.add_input(A);
+  b.add_pair_rule("convert", A, B, B, B);
+  b.add_pair_rule("convert_again", A, B, B, B);
+  const auto table = sim::PairRuleTable::build(b.build());
+  ASSERT_TRUE(table.has_value());
+  const sim::PairRuleTable::Outcome* cell =
+      table->rule(static_cast<std::uint32_t>(A),
+                  static_cast<std::uint32_t>(B));
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->first, static_cast<std::uint32_t>(B));
+  EXPECT_EQ(cell->second, static_cast<std::uint32_t>(B));
+}
+
+TEST(PairRuleTable, RejectsConflictingRulesOnSamePrePair) {
+  core::ProtocolBuilder b;
+  const auto A = b.add_state("A", false);
+  const auto B = b.add_state("B", true);
+  b.add_input(A);
+  b.add_pair_rule("toB", A, B, B, B);
+  b.add_pair_rule("toA", A, B, A, A);
+  EXPECT_FALSE(sim::PairRuleTable::build(b.build()).has_value());
+}
+
 TEST(PairRuleTable, CellsMatchTheRules) {
   // majority(): A=0, B=1, a=2, b=3; cancel A+B -> a+b,
   // recruitA A+b -> A+a, recruitB B+a -> B+b, tie a+b -> b+b.

@@ -1,0 +1,122 @@
+// verify/stabilized: backward-coverability stabilization certificates
+// and the empirical Lemma 5.4 threshold search, pinned on the E5 nets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "bounds/formulas.h"
+#include "verify/stabilized.h"
+
+namespace verify = ppsc::verify;
+using ppsc::petri::Config;
+using ppsc::petri::PetriNet;
+
+namespace {
+
+// The E5 "pair-guard" net: 2b -> a + b, accepting state b.
+PetriNet pair_guard() {
+  PetriNet net(2);
+  net.add(Config{0, 2}, Config{1, 1});
+  return net;
+}
+
+}  // namespace
+
+TEST(Stabilized, PairGuardVerdicts) {
+  const PetriNet net = pair_guard();
+  const std::vector<bool> f_mask{false, true};
+  // One lone b can never repopulate a; two can, and a marked a is
+  // already outside F.
+  EXPECT_TRUE(verify::is_stabilized(net, Config{0, 1}, f_mask));
+  EXPECT_FALSE(verify::is_stabilized(net, Config{0, 2}, f_mask));
+  EXPECT_FALSE(verify::is_stabilized(net, Config{1, 0}, f_mask));
+  EXPECT_TRUE(verify::is_stabilized(net, Config{0, 0}, f_mask));
+}
+
+TEST(Stabilized, PairGuardCertificateBasis) {
+  const PetriNet net = pair_guard();
+  const auto certificate =
+      verify::stabilization_certificate(net, {false, true});
+  ASSERT_EQ(certificate.bad_states, (std::vector<std::size_t>{0}));
+  ASSERT_EQ(certificate.bases.size(), 1u);
+  // Markings from which a is coverable: a already marked, or two b's.
+  std::vector<Config> basis = certificate.bases[0];
+  std::sort(basis.begin(), basis.end());
+  EXPECT_EQ(basis, (std::vector<Config>{Config{0, 2}, Config{1, 0}}));
+}
+
+TEST(Stabilized, RejectsMaskSizeMismatch) {
+  const PetriNet net = pair_guard();
+  EXPECT_THROW(verify::is_stabilized(net, Config{0, 1}, {false}),
+               std::invalid_argument);
+}
+
+TEST(Stabilized, MinimalEffectiveHMatchesHandComputedThresholds) {
+  struct Case {
+    const char* name;
+    PetriNet net;
+    std::vector<bool> f_mask;
+    Config rho;
+    std::uint64_t expected_h;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"pair-guard", pair_guard(), {false, true}, Config{0, 1},
+                   2});
+  {
+    PetriNet net(2);
+    net.add(Config{0, 3}, Config{1, 3});
+    cases.push_back({"triple-guard", net, {false, true}, Config{0, 2}, 3});
+  }
+  {
+    PetriNet net(3);
+    net.add(Config{0, 1, 1}, Config{1, 1, 0});
+    cases.push_back(
+        {"token-guard", net, {false, true, false}, Config{0, 2, 0}, 1});
+  }
+  {
+    PetriNet net(3);
+    net.add(Config{0, 2, 0}, Config{0, 0, 1});
+    net.add(Config{0, 0, 1}, Config{1, 0, 0});
+    cases.push_back(
+        {"two-stage", net, {false, true, false}, Config{0, 1, 0}, 2});
+  }
+  for (const Case& test_case : cases) {
+    const auto h = verify::minimal_effective_h(
+        test_case.net, {test_case.rho}, test_case.f_mask, /*limit=*/8,
+        /*probe_height=*/4);
+    ASSERT_TRUE(h.has_value()) << test_case.name;
+    EXPECT_EQ(*h, test_case.expected_h) << test_case.name;
+    // Lemma 5.4's formula threshold dominates the measured one.
+    const double formula = ppsc::bounds::log2_lemma54_h(
+        static_cast<std::uint64_t>(test_case.net.norm_inf()),
+        test_case.net.num_states());
+    EXPECT_LE(std::log2(static_cast<double>(*h)), formula) << test_case.name;
+  }
+}
+
+TEST(Stabilized, MinimalEffectiveHLimitTooSmall) {
+  const PetriNet net = pair_guard();
+  const auto h = verify::minimal_effective_h(net, {Config{0, 1}},
+                                             {false, true}, /*limit=*/1,
+                                             /*probe_height=*/4);
+  EXPECT_FALSE(h.has_value());
+}
+
+TEST(Stabilized, MinimalEffectiveHRejectsOversizedProbeBox) {
+  // 13 places: (1 + 4 + 1)^13 probe configurations blow the 2^24 cap.
+  PetriNet net(13);
+  Config pre(13);
+  Config post(13);
+  pre[0] = 2;
+  post[1] = 1;
+  net.add(pre, post);
+  std::vector<bool> f_mask(13, true);
+  f_mask[1] = false;
+  EXPECT_THROW(verify::minimal_effective_h(net, {}, f_mask, /*limit=*/1,
+                                           /*probe_height=*/4),
+               std::invalid_argument);
+}
