@@ -12,9 +12,15 @@
 //
 //  * The hot path is a thread-owned ring write: no locks, no
 //    allocation after the ring exists, no cross-thread traffic. Each
-//    thread appends only to its own ring (single producer); readers
-//    (collect / export) run when writers are quiescent -- the bench
-//    drivers export after every worker has joined.
+//    thread appends only to its own ring (single producer). Slots are
+//    seqlock-protected (an atomic sequence word brackets the atomic
+//    payload words), so a collector may run concurrently with writers:
+//    it skips slots that are mid-write or already overwritten instead
+//    of reading torn events, and the whole exchange is data-race-free
+//    under the C++ memory model (TSan-clean by construction, pinned by
+//    tests/test_concurrency.cpp). Exports are *complete* only when
+//    writers are quiescent -- the bench drivers export after every
+//    worker has joined.
 //  * Rings are bounded (kRingCapacity events per thread); when a ring
 //    wraps, the oldest events are overwritten and dropped() reports
 //    how many were lost, so tracing a pathological run degrades to a
@@ -111,7 +117,9 @@ class TraceRegistry {
 
   // Every retained event, sorted by (thread_id, t_start_ns, depth) so
   // parents precede their children and per-thread tracks are
-  // contiguous. Exact iff writer threads are quiescent.
+  // contiguous. Safe to call while writers append (slots mid-write or
+  // overwritten during the scan are skipped, never torn); complete
+  // iff writer threads are quiescent.
   std::vector<TraceEvent> collect() const;
 
   // Events lost to ring wrap-around since the last reset.

@@ -7,9 +7,37 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-CLANG_FORMAT="${CLANG_FORMAT:-clang-format-18}"
-if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
-  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT to override)" >&2
+PINNED_MAJOR=18
+
+# Accept an explicit override, the versioned binary name, or an
+# unversioned clang-format whose --version reports the pinned major --
+# distros disagree on which name they ship.
+if [ -n "${CLANG_FORMAT:-}" ]; then
+  if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+    echo "error: CLANG_FORMAT='$CLANG_FORMAT' not found on PATH" >&2
+    exit 1
+  fi
+elif command -v "clang-format-$PINNED_MAJOR" > /dev/null 2>&1; then
+  CLANG_FORMAT="clang-format-$PINNED_MAJOR"
+elif command -v clang-format > /dev/null 2>&1; then
+  major="$(clang-format --version 2> /dev/null |
+    sed -n 's/.*version \([0-9]*\)\..*/\1/p' | head -n 1)"
+  if [ "$major" = "$PINNED_MAJOR" ]; then
+    CLANG_FORMAT="clang-format"
+  else
+    echo "error: clang-format on PATH is major version" \
+      "${major:-unknown}, but this tree pins clang-format-$PINNED_MAJOR" >&2
+    echo "hint: install clang-format-$PINNED_MAJOR (apt-get install" \
+      "clang-format-$PINNED_MAJOR) or set CLANG_FORMAT to a" \
+      "version-$PINNED_MAJOR binary" >&2
+    exit 1
+  fi
+else
+  echo "error: no clang-format found (tried clang-format-$PINNED_MAJOR," \
+    "clang-format)" >&2
+  echo "hint: install clang-format-$PINNED_MAJOR (apt-get install" \
+    "clang-format-$PINNED_MAJOR) or set CLANG_FORMAT to a" \
+    "version-$PINNED_MAJOR binary" >&2
   exit 1
 fi
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env sh
+# Runs the curated clang-tidy set (.clang-tidy, tests/.clang-tidy) over
+# the project's compilation database.
+#
+#   scripts/tidy.sh [--check] [build-dir]
+#
+# Default mode prints findings and exits 0 (exploration); --check
+# promotes every finding to an error and exits nonzero on any (what
+# CI's blocking tidy job runs). build-dir defaults to ./build and must
+# contain compile_commands.json -- CMAKE_EXPORT_COMPILE_COMMANDS is
+# always ON in this tree, so any configured build dir works.
+#
+# The clang-tidy major version is pinned (same policy as
+# scripts/format.sh): check sets drift across releases, so an
+# unpinned binary would let the gate's meaning change silently. Set
+# CLANG_TIDY to override the binary. See docs/static-analysis.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PINNED_MAJOR=18
+
+# Accept an explicit override, the versioned name, or an unversioned
+# binary whose --version reports the pinned major.
+resolve_tidy() {
+  if [ -n "${CLANG_TIDY:-}" ]; then
+    echo "$CLANG_TIDY"
+    return 0
+  fi
+  if command -v "clang-tidy-$PINNED_MAJOR" > /dev/null 2>&1; then
+    echo "clang-tidy-$PINNED_MAJOR"
+    return 0
+  fi
+  if command -v clang-tidy > /dev/null 2>&1; then
+    major="$(clang-tidy --version 2> /dev/null |
+      sed -n 's/.*version \([0-9]*\)\..*/\1/p' | head -n 1)"
+    if [ "$major" = "$PINNED_MAJOR" ]; then
+      echo "clang-tidy"
+      return 0
+    fi
+    echo "error: clang-tidy major version ${major:-unknown} found, but" \
+      "this tree pins clang-tidy-$PINNED_MAJOR" >&2
+  else
+    echo "error: no clang-tidy found (tried clang-tidy-$PINNED_MAJOR," \
+      "clang-tidy)" >&2
+  fi
+  echo "hint: install clang-tidy-$PINNED_MAJOR (apt-get install" \
+    "clang-tidy-$PINNED_MAJOR) or set CLANG_TIDY to a version-$PINNED_MAJOR" \
+    "binary" >&2
+  return 1
+}
+
+MODE="report"
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --check) MODE="check" ;;
+    -*)
+      echo "usage: scripts/tidy.sh [--check] [build-dir]" >&2
+      exit 2
+      ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found" >&2
+  echo "hint: configure first (cmake -B $BUILD_DIR -S .); the database" \
+    "is exported unconditionally" >&2
+  exit 1
+fi
+
+TIDY="$(resolve_tidy)"
+
+# Only our own translation units: the database also carries the
+# vendored GoogleTest sources, which are not ours to lint.
+FILES="$(python3 - "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json
+import os
+import sys
+
+root = os.getcwd()
+ours = []
+for entry in json.load(open(sys.argv[1])):
+    path = os.path.normpath(
+        os.path.join(entry.get("directory", ""), entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(("src/", "tests/", "bench/")):
+        ours.append(rel)
+for path in sorted(set(ours)):
+    print(path)
+EOF
+)"
+
+if [ -z "$FILES" ]; then
+  echo "error: no project sources in $BUILD_DIR/compile_commands.json" >&2
+  exit 1
+fi
+
+# xargs exits 123 when any clang-tidy invocation fails, which is the
+# blocking signal --check mode needs.
+if [ "$MODE" = "check" ]; then
+  echo "$FILES" | xargs -P "$(nproc)" -n 4 \
+    "$TIDY" -p "$BUILD_DIR" -quiet "-warnings-as-errors=*"
+else
+  echo "$FILES" | xargs -P "$(nproc)" -n 4 \
+    "$TIDY" -p "$BUILD_DIR" -quiet
+fi
+echo "tidy: clean ($(echo "$FILES" | wc -l) translation units)"

@@ -122,9 +122,9 @@ std::string BigUint::to_string() const {
     }
     std::string chunk = std::to_string(remainder);
     if (!quotient.empty()) {
-      chunk = std::string(9 - chunk.size(), '0') + chunk;
+      chunk.insert(0, 9 - chunk.size(), '0');
     }
-    digits = chunk + digits;
+    digits.insert(0, chunk);
     work = std::move(quotient);
   }
   return digits;

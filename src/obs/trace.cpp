@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <type_traits>
 
 #include "obs/json.h"
 
@@ -18,19 +19,75 @@ void TraceEvent::add_arg(const char* key, std::uint64_t value) {
   ++num_args;
 }
 
-// Single-producer ring: the owning thread writes slots then bumps
-// head with release; collectors read head with acquire and the slots
-// below it. Overwritten slots (head past capacity) are the dropped
-// window. Readers are exact only when producers are quiescent, which
-// is the documented export contract.
+// Events cross the ring as relaxed/release atomic words, so they must
+// be bit-copyable into a word buffer.
+static_assert(std::is_trivially_copyable<TraceEvent>::value,
+              "TraceEvent is memcpy'd through the ring slots");
+
+// Single-producer seqlock ring. Each slot is an atomic sequence word
+// plus the event payload spread over atomic words; for the event with
+// global index i the writer publishes
+//
+//   seq: 2i+1 (relaxed)  ->  payload words (release)  ->  seq: 2i+2
+//   (release)            ->  head: i+1 (release)
+//
+// The odd store cannot be overtaken by the payload stores (they are
+// release, so they cannot move above a prior store in their own
+// thread's order as observed through the final release/acquire pair),
+// and the even store cannot move above them. A collector reads seq
+// (acquire), the payload words (acquire, so the re-read below cannot
+// be hoisted above them), then re-reads seq (relaxed): the slot holds
+// a consistent event #i iff both reads returned 2i+2. Anything else
+// means mid-write or overwritten-by-wrap and the slot is skipped.
+// Every access is atomic, so concurrent collect-vs-append is
+// data-race-free; completeness still requires quiescent writers (the
+// documented export contract). Overwritten slots (head past capacity)
+// are the dropped window.
 struct TraceRegistry::Ring {
-  explicit Ring(std::uint32_t ring_id) : id(ring_id) {
-    slots.resize(kRingCapacity);
+  // Payload words per slot.
+  static constexpr std::size_t kSlotWords =
+      (sizeof(TraceEvent) + sizeof(std::uint64_t) - 1) /
+      sizeof(std::uint64_t);
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kSlotWords] = {};
+  };
+
+  explicit Ring(std::uint32_t ring_id)
+      : id(ring_id), slots(new Slot[kRingCapacity]) {}
+
+  // Publishes `event` as global index `index` (the pre-increment head
+  // value). Single producer: only the owning thread calls this.
+  void publish(std::uint64_t index, const TraceEvent& event) {
+    std::uint64_t packed[kSlotWords] = {};
+    std::memcpy(packed, &event, sizeof(TraceEvent));
+    Slot& slot = slots[index % kRingCapacity];
+    slot.seq.store(2 * index + 1, std::memory_order_relaxed);
+    for (std::size_t w = 0; w < kSlotWords; ++w) {
+      slot.words[w].store(packed[w], std::memory_order_release);
+    }
+    slot.seq.store(2 * index + 2, std::memory_order_release);
+  }
+
+  // Reads the event with global index `index`; returns false when the
+  // slot is mid-write or no longer holds that event.
+  bool read(std::uint64_t index, TraceEvent* out) const {
+    const Slot& slot = slots[index % kRingCapacity];
+    const std::uint64_t want = 2 * index + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) return false;
+    std::uint64_t packed[kSlotWords];
+    for (std::size_t w = 0; w < kSlotWords; ++w) {
+      packed[w] = slot.words[w].load(std::memory_order_acquire);
+    }
+    if (slot.seq.load(std::memory_order_relaxed) != want) return false;
+    std::memcpy(out, packed, sizeof(TraceEvent));
+    return true;
   }
 
   std::uint32_t id;
   std::atomic<std::uint64_t> head{0};
-  std::vector<TraceEvent> slots;
+  std::unique_ptr<Slot[]> slots;
 };
 
 #if PPSC_OBS_ENABLED
@@ -89,7 +146,7 @@ void TraceRegistry::append(TraceEvent event) {
   Ring& ring = local_ring();
   event.thread_id = ring.id;
   const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
-  ring.slots[head % kRingCapacity] = event;
+  ring.publish(head, event);
   ring.head.store(head + 1, std::memory_order_release);
 }
 
@@ -100,8 +157,12 @@ std::vector<TraceEvent> TraceRegistry::collect() const {
     for (const auto& ring : rings_) {
       const std::uint64_t head = ring->head.load(std::memory_order_acquire);
       const std::uint64_t kept = std::min<std::uint64_t>(head, kRingCapacity);
+      TraceEvent event;
       for (std::uint64_t i = head - kept; i < head; ++i) {
-        events.push_back(ring->slots[i % kRingCapacity]);
+        // read() fails exactly for slots the owning thread is writing
+        // or has lapped since the head load; with quiescent writers it
+        // always succeeds, so exports stay complete.
+        if (ring->read(i, &event)) events.push_back(event);
       }
     }
   }

@@ -76,6 +76,7 @@ KarpMillerResult karp_miller(const PetriNet& net, const Config& root,
     for (std::size_t t = 0; t < net.num_transitions(); ++t) {
       const Transition& tr = net.transition(t);
       // Copy: nodes may reallocate while we append successors.
+      // NOLINTNEXTLINE(performance-unnecessary-copy-initialization)
       const Config current = result.nodes[head].marking;
       if (!omega_enabled(tr, current)) continue;
       Config next = omega_fire(tr, current);

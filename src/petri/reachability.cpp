@@ -80,6 +80,8 @@ ReachabilityGraph explore(const PetriNet& net, const std::vector<Config>& roots,
       }
       stats.frontier_peak =
           std::max(stats.frontier_peak, graph.nodes.size() - head);
+      // Copy: nodes may reallocate while we append successors.
+      // NOLINTNEXTLINE(performance-unnecessary-copy-initialization)
       const Config current = graph.nodes[head];
       for (std::size_t t = 0; t < net.num_transitions(); ++t) {
         if (!net.enabled(t, current)) continue;

@@ -1,0 +1,245 @@
+// Concurrency stress tests for the observability layer and the
+// parallel sweep runner. These are the workloads the sanitizer CI
+// jobs (PPSC_SANITIZE=thread in particular) exist to check: they
+// deliberately overlap writers with readers -- trace-ring appends
+// racing collect() during ring wrap, metric publishes racing
+// snapshot() across short-lived threads, sim/parallel sweeps racing a
+// registry reader -- and assert that nothing tears. Under a plain
+// build they are functional tests; under TSan they are the race
+// detectors the static-analysis gate blocks on (docs/static-analysis.md).
+//
+// Like the other obs suites, everything runs against the process
+// globals; each test resets the registries and leaves them disabled.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/constructions.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/parallel.h"
+
+namespace {
+
+using ppsc::obs::MetricRegistry;
+using ppsc::obs::ScopedSpan;
+using ppsc::obs::TraceEvent;
+using ppsc::obs::TraceRegistry;
+
+#if PPSC_OBS_ENABLED
+
+// Writer names indexed by writer id; events are validated against
+// this table, so a torn slot (name from one writer, payload from
+// another) cannot go unnoticed.
+constexpr const char* kWriterNames[] = {"writer.0", "writer.1", "writer.2",
+                                        "writer.3"};
+constexpr std::size_t kWriters = 4;
+
+// Concurrent ring writers past the wrap point, with the main thread
+// collecting and exporting the whole time. The seqlock slots must
+// never yield a torn event: every collected event's payload has to be
+// internally consistent (name matches the writer id encoded in its
+// arg, end = start + 1).
+TEST(ConcurrencyTrace, CollectRacesWritersThroughRingWrap) {
+  TraceRegistry& registry = TraceRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+
+  // Enough appends per writer to lap the ring (capacity 2^16).
+  const std::uint64_t per_writer = TraceRegistry::kRingCapacity + 4096;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w, per_writer]() {
+      for (std::uint64_t i = 0; i < per_writer; ++i) {
+        TraceEvent event;
+        event.name = kWriterNames[w];
+        event.category = "stress";
+        event.t_start_ns = 1 + i;
+        event.t_end_ns = 2 + i;
+        event.add_arg("writer", w);
+        event.add_arg("i", i);
+        TraceRegistry::global().append(event);
+      }
+    });
+  }
+
+  // Racing phase: collect repeatedly while the writers lap their
+  // rings. Every event a racing collect returns must be internally
+  // consistent -- the seqlock is allowed to *skip* in-flight slots,
+  // never to tear one.
+  for (int pass = 0; pass < 64; ++pass) {
+    const std::vector<TraceEvent> events = registry.collect();
+    for (const TraceEvent& e : events) {
+      ASSERT_EQ(std::string(e.category), "stress");
+      ASSERT_EQ(e.num_args, 2u);
+      const std::uint64_t w = e.args[0].value;
+      ASSERT_LT(w, kWriters);
+      ASSERT_EQ(std::string(e.name), kWriterNames[w]);
+      ASSERT_EQ(e.t_end_ns, e.t_start_ns + 1);
+      ASSERT_EQ(e.args[1].value, e.t_start_ns - 1);
+    }
+  }
+
+  for (std::thread& t : writers) t.join();
+
+  // Quiescent now: the collect is complete. Each ring kept the newest
+  // kRingCapacity events; the rest are accounted as dropped.
+  const std::vector<TraceEvent> final_events = registry.collect();
+  EXPECT_EQ(final_events.size(), kWriters * TraceRegistry::kRingCapacity);
+  EXPECT_EQ(registry.dropped(),
+            kWriters * (per_writer - TraceRegistry::kRingCapacity));
+  registry.reset();
+  registry.set_enabled(false);
+}
+
+// The satellite coverage ask: concurrent snapshot/export calls racing
+// real ScopedSpan writers (RAII producers, live clock), not hand-built
+// events. TSan-clean and tear-free.
+TEST(ConcurrencyTrace, ExportRacesScopedSpanWriters) {
+  TraceRegistry& registry = TraceRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < 2; ++w) {
+    writers.emplace_back([&stop]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        ScopedSpan outer("stress.outer", "stress");
+        outer.arg("k", 1);
+        ScopedSpan inner("stress.inner", "stress");
+      }
+    });
+  }
+
+  for (int pass = 0; pass < 32; ++pass) {
+    const std::vector<TraceEvent> events = registry.collect();
+    for (const TraceEvent& e : events) {
+      const std::string name(e.name);
+      ASSERT_TRUE(name == "stress.outer" || name == "stress.inner");
+      ASSERT_LE(e.t_start_ns, e.t_end_ns);
+    }
+    // The JSON exporter shares collect(); exercise it under race too.
+    const std::string json = registry.to_chrome_json();
+    ASSERT_NE(json.find("traceEvents"), std::string::npos);
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : writers) t.join();
+  registry.reset();
+  registry.set_enabled(false);
+}
+
+// Thread churn against the metric registry: batches of short-lived
+// threads publish counters, histograms and timers while the main
+// thread snapshots concurrently. Per-thread sheets are registered
+// under the registry mutex and merged at snapshot, so the final
+// quiescent snapshot must account for every publish exactly once.
+TEST(ConcurrencyMetrics, SnapshotRacesPublishersUnderThreadChurn) {
+  MetricRegistry& registry = MetricRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+
+  constexpr int kBatches = 8;
+  constexpr int kThreadsPerBatch = 4;
+  constexpr std::uint64_t kAddsPerThread = 256;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    std::vector<std::thread> publishers;
+    publishers.reserve(kThreadsPerBatch);
+    for (int t = 0; t < kThreadsPerBatch; ++t) {
+      publishers.emplace_back([]() {
+        MetricRegistry& reg = MetricRegistry::global();
+        for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+          reg.add("stress.counter", 1);
+          reg.record("stress.histogram", i);
+        }
+        ppsc::obs::ScopedTimer timer("stress.op");
+      });
+    }
+    // Snapshot while the batch runs: in-flight deltas may or may not
+    // be visible, but the merge itself must be race-free and every
+    // observed value monotone in the final tally's direction.
+    const ppsc::obs::MetricSnapshot racing = registry.snapshot();
+    const auto it = racing.counters.find("stress.counter");
+    if (it != racing.counters.end()) {
+      EXPECT_LE(it->second, static_cast<std::uint64_t>(kBatches) *
+                                kThreadsPerBatch * kAddsPerThread);
+    }
+    for (std::thread& t : publishers) t.join();
+  }
+
+  const ppsc::obs::MetricSnapshot final_snapshot = registry.snapshot();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kBatches) * kThreadsPerBatch *
+      kAddsPerThread;
+  EXPECT_EQ(final_snapshot.counters.at("stress.counter"), expected);
+  EXPECT_EQ(final_snapshot.histograms.at("stress.histogram").count, expected);
+  EXPECT_EQ(final_snapshot.counters.at("stress.op.calls"),
+            static_cast<std::uint64_t>(kBatches) * kThreadsPerBatch);
+  registry.reset();
+  registry.set_enabled(false);
+}
+
+// A full instrumented parallel sweep racing a registry reader thread:
+// the production concurrency pattern the sharding tentpole will lean
+// on. Also re-asserts the 1-vs-N bit-determinism contract with
+// observability enabled and a reader hammering both registries.
+TEST(ConcurrencyParallel, SweepRacesRegistryReaders) {
+  MetricRegistry& metrics = MetricRegistry::global();
+  TraceRegistry& traces = TraceRegistry::global();
+  metrics.reset();
+  traces.reset();
+  metrics.set_enabled(true);
+  traces.set_enabled(true);
+
+  const ppsc::core::ConstructedProtocol cp = ppsc::core::unary_counting(4);
+  const std::vector<ppsc::core::Count> input = {5};
+  ppsc::sim::RunOptions options;
+  options.seed = 2024;
+  options.max_steps = 20000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&stop]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)MetricRegistry::global().snapshot();
+      (void)TraceRegistry::global().collect();
+      (void)TraceRegistry::global().dropped();
+    }
+  });
+
+  const ppsc::sim::ConvergenceStats one =
+      ppsc::sim::measure_convergence_parallel(cp, input, 16, options, 1);
+  const ppsc::sim::ConvergenceStats four =
+      ppsc::sim::measure_convergence_parallel(cp, input, 16, options, 4);
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(one.converged, four.converged);
+  EXPECT_EQ(one.correct, four.correct);
+  EXPECT_EQ(one.mean_steps, four.mean_steps);
+  EXPECT_EQ(one.max_steps_observed, four.max_steps_observed);
+
+  metrics.reset();
+  traces.reset();
+  metrics.set_enabled(false);
+  traces.set_enabled(false);
+}
+
+#else  // !PPSC_OBS_ENABLED
+
+TEST(ConcurrencyObsOff, RegistriesAreInert) {
+  EXPECT_FALSE(TraceRegistry::global().enabled());
+  EXPECT_FALSE(MetricRegistry::global().enabled());
+  EXPECT_TRUE(TraceRegistry::global().collect().empty());
+}
+
+#endif  // PPSC_OBS_ENABLED
+
+}  // namespace

@@ -473,6 +473,27 @@ TEST(ObsReport, DumpIsInertWithoutEnv) {
   EXPECT_FALSE(ppsc::obs::write_snapshot_if_requested());
 }
 
+TEST(ObsReport, DumpUnwritablePathFailsGracefully) {
+  // An unwritable PPSC_OBS_DUMP target (here: a path inside a
+  // directory that does not exist) must fail *gracefully*: report
+  // false, crash nothing, and leave no partial file behind. This is
+  // the negative arm of DumpSnapshotWhenEnvRequests -- the atexit hook
+  // runs this same function, so a crash here would turn every
+  // instrumented binary's clean exit into an abort.
+  const std::string dir = testing::TempDir() + "/ppsc_no_such_dir";
+  const std::string path = dir + "/snapshot.json";
+  MetricRegistry& registry = MetricRegistry::global();
+  registry.reset();
+  registry.set_enabled(true);
+  registry.add("dump.unwritable.probe", 1);
+  ASSERT_EQ(setenv("PPSC_OBS_DUMP", path.c_str(), 1), 0);
+  EXPECT_FALSE(ppsc::obs::write_snapshot_if_requested());
+  ASSERT_EQ(unsetenv("PPSC_OBS_DUMP"), 0);
+  registry.set_enabled(false);
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "partial dump left at " << path;
+}
+
 #endif  // PPSC_OBS_ENABLED
 
 TEST(ObsReport, InertWithoutEnv) {

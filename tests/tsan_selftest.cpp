@@ -1,0 +1,39 @@
+// Gate self-test: a deliberately seeded data race, compiled ONLY when
+// the build is configured with PPSC_SANITIZE=thread (see
+// CMakeLists.txt). Functionally the program is fine -- it increments a
+// counter from two threads and exits 0 -- but the increments are plain
+// (non-atomic) loads and stores, so ThreadSanitizer must report a data
+// race and force a nonzero exit. CI runs this binary in the TSan job
+// and fails if it exits cleanly: proof that the race detector is
+// actually armed, the same discipline as the bench_compare --strict
+// self-test. (ctest registers it with WILL_FAIL, so a local sanitized
+// `ctest` run stays green exactly when TSan catches the race.)
+//
+// Do not "fix" this race; it is the probe the gate is tested with.
+
+#include <cstdio>
+#include <thread>
+
+namespace {
+
+// Plain shared state, intentionally unsynchronized.
+long seeded_race_counter = 0;  // NOLINT: the race is the point
+
+void hammer() {
+  for (int i = 0; i < 100000; ++i) {
+    seeded_race_counter = seeded_race_counter + 1;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+  std::printf("seeded race ran: counter=%ld\n", seeded_race_counter);
+  // Exit 0 on the functional path: only a sanitizer report may turn
+  // this into a failing process.
+  return 0;
+}
