@@ -2,7 +2,11 @@
 //
 // The repro target: high-throughput agent interaction simulation. Measures
 // interactions/second of the agent-array fast path across population sizes
-// and protocols, and the count-based scheduler for comparison.
+// and protocols, the sharded scheduler's large-population sweep
+// (10^6 -> 10^8 agents across shard counts -- the tentpole trajectory:
+// the 8-shard arm at 10^7+ agents must hold >= 5x the single-thread
+// agent-array items/sec), the census scheduler at populations no agent
+// array can hold (10^9), and the count-based scheduler for comparison.
 //
 // Before any benchmark runs, main() executes the observability overhead
 // guard: AgentSimulator compiles its step from one template with the
@@ -25,7 +29,9 @@
 #include "core/constructions.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/census.h"
 #include "sim/scheduler.h"
+#include "sim/sharded.h"
 
 namespace {
 
@@ -103,7 +109,59 @@ void BM_AgentArray_Unary(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_AgentArray_Unary)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_AgentArray_Unary)
+    ->Arg(100)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Arg(10000000);
+
+// The tentpole sweep: one population, sharded. Each iteration is one
+// epoch (shards * batch draws), so items/sec counts raw draws -- the
+// same unit as the agent-array arms. Only deterministic counters are
+// attached (bench_compare requires custom counters to be exact).
+void BM_Sharded_Unary(benchmark::State& state) {
+  auto c = ppsc::core::unary_counting(8);
+  auto table = ppsc::sim::PairRuleTable::build(c.protocol);
+  const Count population = state.range(0);
+  ppsc::sim::ShardedOptions options;
+  options.shards = static_cast<std::size_t>(state.range(1));
+  ppsc::sim::ShardedSimulator simulator(
+      *table, c.protocol.initial_config({population}), 42, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.epoch());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(simulator.interactions()));
+  state.counters["shards"] =
+      static_cast<double>(simulator.num_shards());
+}
+BENCHMARK(BM_Sharded_Unary)
+    ->Args({1000000, 8})
+    ->Args({10000000, 1})
+    ->Args({10000000, 2})
+    ->Args({10000000, 4})
+    ->Args({10000000, 8})
+    ->Args({100000000, 8});
+
+// Census scheduler: population-independent productive steps/sec, at
+// populations no agent array can hold. Items count *productive*
+// steps; the analytically skipped null draws are what make the path
+// cheap, so items/sec here is not comparable to the draw-rate arms.
+void BM_Census_Unary(benchmark::State& state) {
+  auto c = ppsc::core::unary_counting(8);
+  auto table = ppsc::sim::PairRuleTable::build(c.protocol);
+  const Count population = state.range(0);
+  ppsc::sim::CensusSimulator simulator(
+      *table, c.protocol.initial_config({population}), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(simulator.steps()));
+}
+BENCHMARK(BM_Census_Unary)
+    ->Arg(1000000)
+    ->Arg(100000000)
+    ->Arg(1000000000);
 
 void BM_AgentArray_Example42(benchmark::State& state) {
   auto c = ppsc::core::example_4_2(state.range(0) / 2);

@@ -1,18 +1,25 @@
-// E15 — Ablation: agent-array vs count-based scheduler.
+// E15 — Ablation: the four interchangeable schedulers.
 //
-// The two schedulers implement the same interaction distribution (uniform
-// random pair ≙ instantiation-weighted transition sampling on pairwise
-// conservative nets); their convergence statistics must agree within
-// sampling noise while their throughput differs by orders of magnitude.
-// Also demonstrates the parallel sweep runner's determinism.
+// All four schedulers (agent-array, sharded agent-array, census alias
+// table, count-based) implement the same productive interaction
+// distribution (uniform random pair ≙ instantiation-weighted
+// transition sampling on pairwise conservative nets); their
+// convergence statistics must agree within sampling noise while their
+// throughput characteristics differ by orders of magnitude. Part 1
+// forces each scheduler through measure_convergence on identical
+// protocols, populations and seeds; part 2 reports raw throughput in
+// each scheduler's natural unit; part 3 demonstrates the parallel
+// sweep runner's determinism.
 
 #include <chrono>
 #include <cstdio>
 
 #include "core/constructions.h"
 #include "report.h"
+#include "sim/census.h"
 #include "sim/parallel.h"
 #include "sim/scheduler.h"
+#include "sim/sharded.h"
 #include "util/table.h"
 
 namespace {
@@ -29,6 +36,40 @@ double steps_per_second_agent(const ppsc::core::ConstructedProtocol& c,
   for (std::uint64_t i = 0; i < steps; ++i) simulator.step();
   std::chrono::duration<double> elapsed = Clock::now() - start;
   return static_cast<double>(steps) / elapsed.count();
+}
+
+// Sharded path: raw draws/second (the same unit as the agent-array
+// row), accumulated epoch by epoch until the draw budget is met.
+double steps_per_second_sharded(const ppsc::core::ConstructedProtocol& c,
+                                ppsc::core::Count population,
+                                std::uint64_t draws) {
+  auto table = ppsc::sim::PairRuleTable::build(c.protocol);
+  ppsc::sim::ShardedSimulator simulator(
+      *table, c.protocol.initial_config({population}), 17, {});
+  auto start = Clock::now();
+  while (simulator.interactions() < draws && simulator.epoch()) {
+  }
+  std::chrono::duration<double> elapsed = Clock::now() - start;
+  return static_cast<double>(simulator.interactions()) / elapsed.count();
+}
+
+// Census path: *productive* steps/second. The protocols converge, so
+// accumulate across repeated fresh runs until the budget is met, like
+// the count-based row (construction is O(rule cells), negligible).
+double steps_per_second_census(const ppsc::core::ConstructedProtocol& c,
+                               ppsc::core::Count population,
+                               std::uint64_t steps) {
+  auto table = ppsc::sim::PairRuleTable::build(c.protocol);
+  std::uint64_t executed = 0;
+  std::uint64_t seed = 17;
+  auto start = Clock::now();
+  while (executed < steps) {
+    ppsc::sim::CensusSimulator simulator(
+        *table, c.protocol.initial_config({population}), seed++);
+    while (executed < steps && simulator.step()) ++executed;
+  }
+  std::chrono::duration<double> elapsed = Clock::now() - start;
+  return static_cast<double>(executed) / elapsed.count();
 }
 
 double steps_per_second_count(const ppsc::core::ConstructedProtocol& c,
@@ -50,52 +91,101 @@ double steps_per_second_count(const ppsc::core::ConstructedProtocol& c,
   return static_cast<double>(executed) / elapsed.count();
 }
 
+const char* scheduler_name(ppsc::sim::SchedulerChoice choice) {
+  switch (choice) {
+    case ppsc::sim::SchedulerChoice::kAgent:
+      return "agent-array";
+    case ppsc::sim::SchedulerChoice::kSharded:
+      return "sharded";
+    case ppsc::sim::SchedulerChoice::kCensus:
+      return "census";
+    case ppsc::sim::SchedulerChoice::kCount:
+      return "count-based";
+    default:
+      return "auto";
+  }
+}
+
 }  // namespace
 
 int main() {
   ppsc::bench::Report report("e15_scheduler_ablation");
-  std::printf("E15 part 1: convergence agreement between schedulers\n\n");
-  // Use a protocol the count scheduler must also run: compare mean steps to
-  // silence over matched run counts. The count scheduler skips null
-  // interactions, so compare *effective* (non-null) steps: the agent-array
-  // result is scaled by its non-null fraction... instead compare the
-  // CONSENSUS correctness and report both raw means.
-  ppsc::util::TablePrinter agreement({"protocol", "population",
-                                      "agent-array mean", "correct",
-                                      "count-based mean", "correct"});
-  for (ppsc::core::Count population : {32, 64}) {
+  std::printf(
+      "E15 part 1: convergence agreement across the four schedulers\n\n");
+  // Identical protocol, populations and seeds for every arm: only the
+  // forced scheduler differs, so the mean productive-step counts must
+  // agree within sampling noise and every converged run must reach the
+  // correct consensus. (The sharded arm uses 4 shards so each shard
+  // holds a non-trivial slice even at the small populations.)
+  {
+    ppsc::util::TablePrinter agreement(
+        {"scheduler", "population", "mean steps", "correct"});
+    const ppsc::sim::SchedulerChoice arms[] = {
+        ppsc::sim::SchedulerChoice::kAgent,
+        ppsc::sim::SchedulerChoice::kSharded,
+        ppsc::sim::SchedulerChoice::kCensus,
+        ppsc::sim::SchedulerChoice::kCount,
+    };
     auto c = ppsc::core::unary_counting(6);
-    auto fast = ppsc::sim::measure_convergence(c, {population}, 8);
-    report.add_items(8);
-
-    // Force the count-based path through a protocol wrapper: the
-    // CountSimulator is exercised via a destructive variant with identical
-    // predicate semantics.
-    auto destructive = ppsc::core::destructive_unary_counting(6);
-    auto slow = ppsc::sim::measure_convergence(destructive, {population}, 8);
-    report.add_items(8);
-
-    agreement.add_row(
-        {"unary(6) / destructive(6)", std::to_string(population),
-         ppsc::util::format_double(fast.mean_steps, 5),
-         std::to_string(fast.correct) + "/8",
-         ppsc::util::format_double(slow.mean_steps, 5),
-         std::to_string(slow.correct) + "/8"});
+    for (ppsc::core::Count population : {64, 256}) {
+      for (ppsc::sim::SchedulerChoice arm : arms) {
+        ppsc::sim::RunOptions options;
+        options.scheduler = arm;
+        options.shards = 4;
+        auto stats =
+            ppsc::sim::measure_convergence(c, {population}, 8, options);
+        report.add_items(8);
+        agreement.add_row({scheduler_name(arm), std::to_string(population),
+                           ppsc::util::format_double(stats.mean_steps, 5),
+                           std::to_string(stats.correct) + "/8"});
+      }
+    }
+    agreement.print();
   }
-  agreement.print();
 
-  std::printf("\nE15 part 2: raw scheduler throughput (steps/second)\n\n");
+  std::printf(
+      "\nE15 part 1b: count-scheduler fallback on a table-free protocol\n\n");
+  // The destructive variant has identical predicate semantics but does
+  // not compile to a pair table, so every choice degrades to the count
+  // scheduler; its dynamics (and so its means) differ, but every
+  // converged run must still reach the correct consensus.
+  {
+    ppsc::util::TablePrinter fallback(
+        {"protocol", "population", "mean steps", "correct"});
+    auto destructive = ppsc::core::destructive_unary_counting(6);
+    for (ppsc::core::Count population : {64, 256}) {
+      auto stats = ppsc::sim::measure_convergence(destructive, {population}, 8);
+      report.add_items(8);
+      fallback.add_row({"destructive(6)", std::to_string(population),
+                        ppsc::util::format_double(stats.mean_steps, 5),
+                        std::to_string(stats.correct) + "/8"});
+    }
+    fallback.print();
+  }
+
+  std::printf("\nE15 part 2: raw scheduler throughput\n\n");
+  // Each row reports the scheduler's natural unit: raw draws/s for the
+  // agent-array and sharded paths, productive steps/s for the census
+  // and count paths (they never execute null draws).
   ppsc::util::TablePrinter throughput(
-      {"scheduler", "population", "steps/s"});
+      {"scheduler", "population", "unit", "rate/s"});
   auto c = ppsc::core::unary_counting(8);
   for (ppsc::core::Count population : {1000, 100000}) {
     throughput.add_row(
-        {"agent-array", std::to_string(population),
+        {"agent-array", std::to_string(population), "draws",
          ppsc::util::format_double(
              steps_per_second_agent(c, population, 2'000'000), 4)});
   }
   throughput.add_row(
-      {"count-based", "1000",
+      {"sharded", "1000000", "draws",
+       ppsc::util::format_double(
+           steps_per_second_sharded(c, 1000000, 2'000'000), 4)});
+  throughput.add_row(
+      {"census", "1000000", "productive",
+       ppsc::util::format_double(steps_per_second_census(c, 1000000, 100'000),
+                                 4)});
+  throughput.add_row(
+      {"count-based", "1000", "productive",
        ppsc::util::format_double(steps_per_second_count(c, 1000, 200'000),
                                  4)});
   throughput.print();

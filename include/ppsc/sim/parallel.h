@@ -5,9 +5,11 @@
 // run's outcome at its run index before aggregating in index order --
 // so the statistics are bit-identical for 1 thread and N threads, and
 // independent of how the OS interleaves the workers. Worker threads
-// share one immutable PairRuleTable: each run takes the agent-array
-// fast path when the protocol compiles to one, and the count scheduler
-// otherwise.
+// share one immutable PairRuleTable: planned_scheduler picks one of
+// the four scheduler paths (agent / sharded / census / count) per
+// sweep from RunOptions::scheduler, the population and the state
+// count, degrading to the count scheduler whenever the protocol does
+// not compile to a pair table.
 
 #ifndef PPSC_SIM_PARALLEL_H
 #define PPSC_SIM_PARALLEL_H
@@ -28,6 +30,17 @@ ConvergenceStats measure_convergence_parallel(
     const core::ConstructedProtocol& cp, const std::vector<core::Count>& input,
     std::size_t runs, const RunOptions& options = {},
     unsigned num_threads = 0);
+
+// The scheduler the dispatch heuristic selects for one run: resolves
+// options.scheduler (kAuto picks census for small-state/large-
+// population runs, sharded for very large populations, agent
+// otherwise; every table-based choice degrades to kCount when
+// `has_table` is false). Exposed so the heuristic's thresholds are
+// unit-testable; measure_convergence routes every run through exactly
+// this function.
+SchedulerChoice planned_scheduler(const RunOptions& options, bool has_table,
+                                  std::size_t num_states,
+                                  core::Count population);
 
 }  // namespace sim
 }  // namespace ppsc

@@ -1,8 +1,12 @@
 // Scheduler architecture for the sim subsystem.
 //
-// Two interchangeable schedulers drive a protocol's interaction
+// Four interchangeable schedulers drive a protocol's interaction
 // dynamics and share one census/output accounting path (see
-// summarize_output in sim/simulator.h):
+// summarize_output in sim/simulator.h). This header holds the two
+// original ones plus the PairRuleTable they all compile against; the
+// large-population ShardedSimulator lives in sim/sharded.h and the
+// small-state CensusSimulator in sim/census.h, and
+// sim/parallel.h's planned_scheduler dispatches among all four:
 //
 //  * AgentSimulator -- the classical uniform-random-pair scheduler over
 //    an explicit agent array: each step draws an ordered pair of

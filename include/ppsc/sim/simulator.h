@@ -12,6 +12,7 @@
 #ifndef PPSC_SIM_SIMULATOR_H
 #define PPSC_SIM_SIMULATOR_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +20,20 @@
 
 namespace ppsc {
 namespace sim {
+
+// Which scheduler drives a run. kAuto picks by population and state
+// count (see docs/sim-sharding.md for the heuristic); the explicit
+// values force a path. Paths that require a PairRuleTable (agent,
+// sharded, census) fall back to the count scheduler when the protocol
+// does not compile to one -- every scheduler shares the productive
+// step law, so forcing is an ablation knob, never a semantic change.
+enum class SchedulerChoice {
+  kAuto,
+  kAgent,
+  kSharded,
+  kCensus,
+  kCount,
+};
 
 struct RunOptions {
   // Give up (non-converged) after this many productive interactions.
@@ -32,6 +47,11 @@ struct RunOptions {
   // after silence for a tighter hot loop. The count scheduler detects
   // silence exactly on every step and ignores this.
   std::uint64_t silence_check_interval = 16;
+  // Scheduler selection for measure_convergence runs; run_to_silence
+  // always uses the count scheduler.
+  SchedulerChoice scheduler = SchedulerChoice::kAuto;
+  // Sharded path only: shard count (0 = the ShardedOptions default).
+  std::size_t shards = 0;
 };
 
 struct OutputSummary {

@@ -23,6 +23,24 @@ class Xoshiro256 {
   // Uniform double in [0, 1).
   double unit();
 
+  // Advances the state by 2^128 draws in O(1): the canonical xoshiro
+  // jump polynomial. Two generators seeded identically and separated
+  // by distinct jump counts produce non-overlapping subsequences for
+  // any realistic draw budget, which is what makes stream() safe.
+  void jump();
+
+  // Advances by 2^192 draws; reserves a second axis of separation so
+  // auxiliary generators (e.g. a cross-shard exchange stream) can
+  // never collide with the jump-derived worker streams.
+  void long_jump();
+
+  // Stream `index` of the family derived from `seed`: the seeded
+  // generator jumped `index` times. Stream 0 is bit-identical to
+  // Xoshiro256(seed), so a 1-stream consumer is exactly the plain
+  // generator -- the sharded scheduler's 1-shard compatibility
+  // contract rests on this.
+  static Xoshiro256 stream(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t state_[4];
 };

@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "sim/census.h"
 #include "sim/scheduler.h"
+#include "sim/sharded.h"
 
 namespace ppsc {
 namespace sim {
@@ -59,7 +61,82 @@ RunOutcome run_count_path(const core::Protocol& protocol,
   return {run.silent, run.steps, run.final_output};
 }
 
+RunOutcome run_sharded_path(const PairRuleTable& table,
+                            const core::Protocol& protocol,
+                            const core::Config& initial,
+                            const RunOptions& options, std::uint64_t seed,
+                            unsigned sweep_workers) {
+  obs::ScopedSpan span("sim.shard.run", "sim");
+  span.arg("seed", seed);
+  ShardedOptions sharded;
+  sharded.shards = options.shards;
+  // A sweep that already parallelizes across runs keeps each sharded
+  // run single-threaded; sharding still pays via locality + prefetch
+  // batching, and the result is worker-count-independent either way.
+  if (sweep_workers > 1) sharded.workers = 1;
+  ShardedSimulator simulator(table, initial, seed, sharded);
+  simulator.run(options.max_steps);
+  RunOutcome outcome;
+  outcome.silent = simulator.silent();
+  // Epoch granularity can overshoot the budget; report at most the
+  // budget, like the per-step paths.
+  outcome.steps = std::min(simulator.steps(), options.max_steps);
+  outcome.output = summarize_output(protocol, simulator.census());
+  simulator.publish_metrics();
+  span.arg("steps", outcome.steps);
+  return outcome;
+}
+
+RunOutcome run_census_path(const PairRuleTable& table,
+                           const core::Protocol& protocol,
+                           const core::Config& initial,
+                           const RunOptions& options, std::uint64_t seed) {
+  obs::ScopedSpan span("sim.run", "sim");
+  span.arg("seed", seed);
+  CensusSimulator simulator(table, initial, seed);
+  RunOutcome outcome;
+  outcome.silent = simulator.silent();
+  while (!outcome.silent && simulator.steps() < options.max_steps) {
+    simulator.step();
+    outcome.silent = simulator.silent();
+  }
+  outcome.steps = simulator.steps();
+  outcome.output = summarize_output(protocol, simulator.census());
+  simulator.publish_metrics();
+  span.arg("steps", outcome.steps);
+  return outcome;
+}
+
 }  // namespace
+
+SchedulerChoice planned_scheduler(const RunOptions& options, bool has_table,
+                                  std::size_t num_states,
+                                  core::Count population) {
+  // Thresholds (rationale in docs/sim-sharding.md): the census path
+  // needs a small alias table and enough agents that skipping null
+  // draws matters; the sharded path only beats the plain agent array
+  // once the array has fallen out of cache. All committed goldens and
+  // sweep benches run populations far below both cutoffs, so kAuto
+  // changes nothing for them.
+  constexpr std::size_t kCensusMaxStates = 64;
+  constexpr core::Count kCensusMinPopulation = 1 << 16;
+  constexpr core::Count kShardMinPopulation = core::Count{1} << 22;
+  if (!has_table) return SchedulerChoice::kCount;
+  switch (options.scheduler) {
+    case SchedulerChoice::kAgent:
+    case SchedulerChoice::kSharded:
+    case SchedulerChoice::kCensus:
+    case SchedulerChoice::kCount:
+      return options.scheduler;
+    case SchedulerChoice::kAuto:
+      break;
+  }
+  if (num_states <= kCensusMaxStates && population >= kCensusMinPopulation) {
+    return SchedulerChoice::kCensus;
+  }
+  if (population >= kShardMinPopulation) return SchedulerChoice::kSharded;
+  return SchedulerChoice::kAgent;
+}
 
 ConvergenceStats measure_convergence_parallel(
     const core::ConstructedProtocol& cp, const std::vector<core::Count>& input,
@@ -72,13 +149,10 @@ ConvergenceStats measure_convergence_parallel(
   const std::optional<PairRuleTable> table =
       PairRuleTable::build(cp.protocol);
 
-  std::vector<RunOutcome> outcomes(runs);
-  const auto run_one = [&](std::size_t r) {
-    const std::uint64_t seed = options.seed + r;
-    outcomes[r] = table ? run_agent_path(*table, cp.protocol, initial,
-                                         options, seed)
-                        : run_count_path(cp.protocol, input, options, seed);
-  };
+  core::Count population = 0;
+  for (const core::Count c : initial) population += c;
+  const SchedulerChoice choice = planned_scheduler(
+      options, table.has_value(), cp.protocol.num_states(), population);
 
   unsigned workers = num_threads;
   if (workers == 0) {
@@ -87,6 +161,29 @@ ConvergenceStats measure_convergence_parallel(
   }
   workers = static_cast<unsigned>(
       std::min<std::size_t>(workers, std::max<std::size_t>(runs, 1)));
+
+  std::vector<RunOutcome> outcomes(runs);
+  const auto run_one = [&, choice, workers](std::size_t r) {
+    const std::uint64_t seed = options.seed + r;
+    switch (choice) {
+      case SchedulerChoice::kSharded:
+        outcomes[r] = run_sharded_path(*table, cp.protocol, initial, options,
+                                       seed, workers);
+        return;
+      case SchedulerChoice::kCensus:
+        outcomes[r] =
+            run_census_path(*table, cp.protocol, initial, options, seed);
+        return;
+      case SchedulerChoice::kCount:
+        outcomes[r] = run_count_path(cp.protocol, input, options, seed);
+        return;
+      case SchedulerChoice::kAgent:
+      case SchedulerChoice::kAuto:
+        break;
+    }
+    outcomes[r] =
+        run_agent_path(*table, cp.protocol, initial, options, seed);
+  };
   if (workers <= 1) {
     for (std::size_t r = 0; r < runs; ++r) run_one(r);
   } else {

@@ -1,6 +1,8 @@
-// Scheduler architecture: pair-table compilation, agent-array vs
-// count-based scheduler equivalence, incremental silence detection,
-// and the deterministic parallel sweep runner.
+// Scheduler architecture: pair-table compilation, scheduler
+// equivalence across all four schedulers (agent, sharded, census,
+// count), incremental silence detection, the sharded scheduler's
+// determinism contract, the dispatch heuristic, and the deterministic
+// parallel sweep runner.
 
 #include <gtest/gtest.h>
 
@@ -8,8 +10,10 @@
 #include <cstdint>
 
 #include "core/constructions.h"
+#include "sim/census.h"
 #include "sim/parallel.h"
 #include "sim/scheduler.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 
 namespace core = ppsc::core;
@@ -282,6 +286,267 @@ TEST(ParallelSweep, CountFallbackMatchesRunToSilence) {
   }
   EXPECT_EQ(stats.mean_steps, total / 3.0);
   EXPECT_EQ(stats.max_steps_observed, observed_max);
+}
+
+// Drives seeded sharded simulations to silence directly.
+DirectStats run_sharded_direct(const core::ConstructedProtocol& cp,
+                               const std::vector<core::Count>& input,
+                               std::size_t runs,
+                               const sim::ShardedOptions& options) {
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  DirectStats stats;
+  if (!table) {
+    ADD_FAILURE() << "protocol did not compile to a pair table";
+    return stats;
+  }
+  const bool expected = cp.predicate(input);
+  const core::Config initial = cp.protocol.initial_config(input);
+  double total = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    sim::ShardedSimulator simulator(*table, initial, 1000 + r, options);
+    simulator.run(2000000);
+    if (simulator.silent()) {
+      ++stats.converged;
+      const sim::OutputSummary out =
+          sim::summarize_output(cp.protocol, simulator.census());
+      if (out.unanimous(expected)) ++stats.correct;
+    }
+    total += static_cast<double>(simulator.steps());
+  }
+  stats.mean_steps = total / static_cast<double>(runs);
+  return stats;
+}
+
+// Same measurement through the census scheduler.
+DirectStats run_census_direct(const core::ConstructedProtocol& cp,
+                              const std::vector<core::Count>& input,
+                              std::size_t runs) {
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  DirectStats stats;
+  if (!table) {
+    ADD_FAILURE() << "protocol did not compile to a pair table";
+    return stats;
+  }
+  const bool expected = cp.predicate(input);
+  const core::Config initial = cp.protocol.initial_config(input);
+  double total = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    sim::CensusSimulator simulator(*table, initial, 1000 + r);
+    while (simulator.steps() < 2000000 && simulator.step()) {
+    }
+    if (simulator.silent()) {
+      ++stats.converged;
+      const sim::OutputSummary out =
+          sim::summarize_output(cp.protocol, simulator.census());
+      if (out.unanimous(expected)) ++stats.correct;
+    }
+    total += static_cast<double>(simulator.steps());
+  }
+  stats.mean_steps = total / static_cast<double>(runs);
+  return stats;
+}
+
+TEST(ShardedSimulator, OneShardIsBitIdenticalToAgentSimulator) {
+  // The 1-shard contract: one slice, no exchange, the very RNG draw
+  // sequence of AgentSimulator -- the chains must match bit for bit,
+  // epoch after epoch, in census, steps, raw draws and the
+  // enabled-pair count.
+  const auto cp = core::unary_counting(4);
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  ASSERT_TRUE(table.has_value());
+  const core::Config initial = cp.protocol.initial_config({1000});
+  sim::AgentSimulator agent(*table, initial, 99);
+  sim::ShardedOptions options;
+  options.shards = 1;
+  options.workers = 1;
+  options.batch = 512;
+  sim::ShardedSimulator sharded(*table, initial, 99, options);
+  for (int e = 0; e < 20; ++e) {
+    sharded.epoch();
+    for (std::uint64_t k = 0; k < 512; ++k) agent.step();
+    ASSERT_EQ(agent.census(), sharded.census()) << "epoch " << e;
+    ASSERT_EQ(agent.steps(), sharded.steps()) << "epoch " << e;
+    ASSERT_EQ(agent.interactions(), sharded.interactions()) << "epoch " << e;
+    ASSERT_EQ(agent.enabled_pairs(), sharded.enabled_pairs()) << "epoch " << e;
+  }
+}
+
+TEST(ShardedSimulator, SeedDeterministicAndWorkerCountInvariant) {
+  // Same (seed, shards) => bit-identical chain; worker threads only
+  // decide where a shard's batch executes, never what it computes.
+  const auto cp = core::unary_counting(4);
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  ASSERT_TRUE(table.has_value());
+  const core::Config initial = cp.protocol.initial_config({20000});
+  sim::ShardedOptions serial;
+  serial.shards = 4;
+  serial.workers = 1;
+  serial.batch = 256;
+  sim::ShardedOptions threaded = serial;
+  threaded.workers = 4;
+  sim::ShardedSimulator a(*table, initial, 7, serial);
+  sim::ShardedSimulator b(*table, initial, 7, threaded);
+  sim::ShardedSimulator c(*table, initial, 7, threaded);
+  ASSERT_EQ(b.num_workers(), 4u);
+  for (int e = 0; e < 40; ++e) {
+    a.epoch();
+    b.epoch();
+    c.epoch();
+  }
+  EXPECT_EQ(a.census(), b.census());
+  EXPECT_EQ(a.steps(), b.steps());
+  EXPECT_EQ(a.interactions(), b.interactions());
+  EXPECT_EQ(a.cross_swaps(), b.cross_swaps());
+  EXPECT_EQ(b.census(), c.census());
+  EXPECT_EQ(b.steps(), c.steps());
+}
+
+TEST(ShardedSimulator, ConservesPopulationAndDetectsSilence) {
+  // Cross-shard exchange must conserve the census it permutes, and the
+  // barrier silence check must agree with a brute-force rescan.
+  const auto cp = core::unary_counting(3);
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  ASSERT_TRUE(table.has_value());
+  sim::ShardedOptions options;
+  options.shards = 3;
+  options.workers = 1;
+  options.batch = 32;
+  options.exchange_shift = 0;  // maximal exchange stress
+  sim::ShardedSimulator simulator(
+      *table, cp.protocol.initial_config({120}), 5, options);
+  const core::Count population = simulator.population();
+  ASSERT_EQ(population, 120);
+  int epochs = 0;
+  while (simulator.epoch()) {
+    ASSERT_EQ(core::Protocol::population(simulator.census()), population);
+    ASSERT_EQ(simulator.silent(),
+              brute_force_silent(*table, simulator.census()));
+    ASSERT_LT(++epochs, 100000);
+  }
+  EXPECT_TRUE(simulator.silent());
+  EXPECT_TRUE(brute_force_silent(*table, simulator.census()));
+  EXPECT_GT(simulator.cross_swaps(), 0u);
+  EXPECT_GE(simulator.interactions(), simulator.steps());
+}
+
+TEST(SchedulerEquivalence, ShardedMatchesAgentDistribution) {
+  // The mixing argument in sim/sharded.h: sharded draws with periodic
+  // cross-shard exchange preserve the uniform-pair law up to O(K/m)
+  // per-draw bias. Empirically the mean convergence time over matched
+  // run counts must agree with AgentSimulator within sampling noise
+  // (the seeds are fixed, so this is deterministic).
+  const auto cp = core::unary_counting(3);
+  sim::ShardedOptions options;
+  options.shards = 4;
+  options.workers = 1;
+  options.batch = 64;
+  const DirectStats agent = run_agent_direct(cp, {2048}, 12);
+  const DirectStats sharded = run_sharded_direct(cp, {2048}, 12, options);
+  EXPECT_EQ(agent.converged, 12u);
+  EXPECT_EQ(sharded.converged, 12u);
+  EXPECT_EQ(agent.correct, 12u);
+  EXPECT_EQ(sharded.correct, 12u);
+  EXPECT_GT(agent.mean_steps, 0.0);
+  EXPECT_NEAR(agent.mean_steps, sharded.mean_steps, 0.2 * agent.mean_steps);
+}
+
+TEST(SchedulerEquivalence, CensusMatchesAgentDistribution) {
+  // Conditional on productivity the census scheduler samples the very
+  // cell law of the agent scheduler, so the productive chains are
+  // equal in distribution -- not just close.
+  const auto cp = core::unary_counting(3);
+  const DirectStats agent = run_agent_direct(cp, {500}, 32);
+  const DirectStats census = run_census_direct(cp, {500}, 32);
+  EXPECT_EQ(agent.converged, 32u);
+  EXPECT_EQ(census.converged, 32u);
+  EXPECT_EQ(agent.correct, 32u);
+  EXPECT_EQ(census.correct, 32u);
+  EXPECT_NEAR(agent.mean_steps, census.mean_steps, 0.2 * agent.mean_steps);
+}
+
+TEST(CensusSimulator, TracksSilenceExactly) {
+  const auto cp = core::unary_counting(3);
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  ASSERT_TRUE(table.has_value());
+  sim::CensusSimulator simulator(*table, cp.protocol.initial_config({12}), 7);
+  const core::Count population = simulator.population();
+  ASSERT_EQ(population, 12);
+  ASSERT_FALSE(simulator.silent());
+  while (simulator.step()) {
+    ASSERT_EQ(simulator.silent(),
+              brute_force_silent(*table, simulator.census()));
+    ASSERT_EQ(core::Protocol::population(simulator.census()), population);
+    ASSERT_LT(simulator.steps(), 100000u);
+  }
+  EXPECT_TRUE(simulator.silent());
+  EXPECT_TRUE(brute_force_silent(*table, simulator.census()));
+  // The geometric null skip accounts at least one draw per productive
+  // step, so the sampled raw-draw total dominates the productive one.
+  EXPECT_GE(simulator.interactions(), simulator.steps());
+  EXPECT_GT(simulator.rebuilds(), 0u);
+}
+
+TEST(CensusSimulator, TinyPopulationsAreSilent) {
+  const auto cp = core::unary_counting(2);
+  const auto table = sim::PairRuleTable::build(cp.protocol);
+  ASSERT_TRUE(table.has_value());
+  sim::CensusSimulator empty(*table, cp.protocol.initial_config({0}), 1);
+  EXPECT_TRUE(empty.silent());
+  EXPECT_FALSE(empty.step());
+  sim::CensusSimulator loner(*table, cp.protocol.initial_config({1}), 1);
+  EXPECT_TRUE(loner.silent());
+  EXPECT_FALSE(loner.step());
+  EXPECT_EQ(loner.steps(), 0u);
+}
+
+TEST(DispatchHeuristic, PicksByPopulationAndStateCount) {
+  const sim::RunOptions automatic;
+  // No pair table: everything degrades to the count scheduler.
+  EXPECT_EQ(sim::planned_scheduler(automatic, false, 5, 100),
+            sim::SchedulerChoice::kCount);
+  // Small populations stay on the plain agent array.
+  EXPECT_EQ(sim::planned_scheduler(automatic, true, 5, 100),
+            sim::SchedulerChoice::kAgent);
+  // Small state space + large population: census path.
+  EXPECT_EQ(sim::planned_scheduler(automatic, true, 5, 1 << 16),
+            sim::SchedulerChoice::kCensus);
+  EXPECT_EQ(sim::planned_scheduler(automatic, true, 5, core::Count{1} << 30),
+            sim::SchedulerChoice::kCensus);
+  // Large state space: census is out; sharded once the agent array
+  // outgrows the cache.
+  EXPECT_EQ(sim::planned_scheduler(automatic, true, 100, 1 << 16),
+            sim::SchedulerChoice::kAgent);
+  EXPECT_EQ(sim::planned_scheduler(automatic, true, 100, core::Count{1} << 22),
+            sim::SchedulerChoice::kSharded);
+  // Forcing overrides the heuristic but never conjures a pair table.
+  sim::RunOptions forced;
+  forced.scheduler = sim::SchedulerChoice::kSharded;
+  EXPECT_EQ(sim::planned_scheduler(forced, true, 5, 100),
+            sim::SchedulerChoice::kSharded);
+  EXPECT_EQ(sim::planned_scheduler(forced, false, 5, 100),
+            sim::SchedulerChoice::kCount);
+  forced.scheduler = sim::SchedulerChoice::kCount;
+  EXPECT_EQ(sim::planned_scheduler(forced, true, 5, core::Count{1} << 30),
+            sim::SchedulerChoice::kCount);
+}
+
+TEST(DispatchHeuristic, ForcedSchedulersAgreeOnOutcomes) {
+  // All four schedulers share the productive-step law, so forcing any
+  // of them through the sweep must reproduce the same convergence and
+  // correctness verdicts on a protocol every path can run.
+  const auto cp = core::unary_counting(3);
+  for (const sim::SchedulerChoice choice :
+       {sim::SchedulerChoice::kAgent, sim::SchedulerChoice::kSharded,
+        sim::SchedulerChoice::kCensus, sim::SchedulerChoice::kCount}) {
+    sim::RunOptions options;
+    options.scheduler = choice;
+    options.shards = 2;
+    const sim::ConvergenceStats stats =
+        sim::measure_convergence(cp, {40}, 6, options);
+    EXPECT_EQ(stats.converged, 6u) << static_cast<int>(choice);
+    EXPECT_EQ(stats.correct, 6u) << static_cast<int>(choice);
+    EXPECT_GT(stats.mean_steps, 0.0) << static_cast<int>(choice);
+  }
 }
 
 TEST(DestructiveUnary, ComputesTheSamePredicate) {
